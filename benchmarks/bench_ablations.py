@@ -1,0 +1,157 @@
+"""Ablations of Qr-Hint's design choices (DESIGN.md extensions).
+
+Three design knobs the paper motivates but does not sweep:
+
+* **site cap** -- the maximum number of repair sites explored (the paper
+  fixes 2); sweeping 1/2/3 exposes the optimality/latency trade-off;
+* **site-count weight w** -- Definition 3's per-site penalty (paper: 1/6);
+  a large w collapses repairs into fewer, bigger sites;
+* **early stopping** -- Algorithm 1's lower-bound pruning; disabled by
+  exploring with an (unreachably large) incumbent cost.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.where_repair import repair_where, verify_repair
+from repro.solver import Solver
+from repro.workloads import tpch
+from repro.workloads.inject import inject_errors
+
+
+def _q7_injected(num_errors=3):
+    predicate = tpch.Q7_NESTED.resolve().where
+    return inject_errors(
+        predicate, num_errors, seed=num_errors, allow_operator_swap=True
+    )
+
+
+def test_ablation_site_cap(benchmark, save_result):
+    """Cost and time as the repair-site cap grows from 1 to 3."""
+
+    def sweep():
+        injected = _q7_injected(3)
+        rows = []
+        for cap in (1, 2, 3):
+            solver = Solver()
+            result = repair_where(
+                injected.wrong,
+                injected.correct,
+                max_sites=cap,
+                optimized=True,
+                solver=solver,
+            )
+            assert verify_repair(
+                injected.wrong, injected.correct, result.repair, solver
+            )
+            rows.append(
+                {
+                    "cap": cap,
+                    "cost": result.cost,
+                    "sites": len(result.repair),
+                    "elapsed": result.elapsed,
+                    "considered": result.sites_considered,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation: repair-site cap (Q7, 3 injected errors)",
+        ["cap", "cost", "sites used", "time", "site sets considered"],
+        [
+            [r["cap"], f"{r['cost']:.3f}", r["sites"], f"{r['elapsed']:.2f}s",
+             r["considered"]]
+            for r in rows
+        ],
+    )
+    save_result("ablation_site_cap", rows)
+    # More sites never hurt cost; caps 2 and 3 both beat the 1-site repair.
+    assert rows[1]["cost"] <= rows[0]["cost"] + 1e-9
+    assert rows[2]["cost"] <= rows[1]["cost"] + 1e-9
+
+
+def test_ablation_site_weight(benchmark, save_result):
+    """Definition 3's w: higher penalties push toward fewer sites."""
+
+    def sweep():
+        injected = _q7_injected(2)
+        rows = []
+        for weight in (Fraction(1, 100), Fraction(1, 6), Fraction(2, 1)):
+            solver = Solver()
+            result = repair_where(
+                injected.wrong,
+                injected.correct,
+                max_sites=2,
+                optimized=True,
+                solver=solver,
+                weight=weight,
+            )
+            rows.append(
+                {
+                    "weight": str(weight),
+                    "sites": len(result.repair),
+                    "cost": result.cost,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation: site-count weight w (Q7, 2 injected errors)",
+        ["w", "sites chosen", "cost (w-dependent)"],
+        [[r["weight"], r["sites"], f"{r['cost']:.3f}"] for r in rows],
+    )
+    save_result("ablation_site_weight", rows)
+    # A prohibitive per-site penalty forces a single-site repair.
+    assert rows[-1]["sites"] == 1
+    # The paper's default finds the true two-site repair.
+    assert rows[1]["sites"] == 2
+
+
+def test_ablation_early_stopping(benchmark, save_result):
+    """Algorithm 1's pruning: count the site sets actually explored."""
+
+    def sweep():
+        injected = _q7_injected(5)  # heavy pruning case (Figure 3's insight)
+        solver = Solver()
+        pruned = repair_where(
+            injected.wrong, injected.correct, max_sites=2, solver=solver
+        )
+        light = _q7_injected(1)
+        solver2 = Solver()
+        unpruned = repair_where(
+            light.wrong, light.correct, max_sites=2, solver=solver2
+        )
+        return {
+            "five_errors": {
+                "considered": pruned.sites_considered,
+                "viable": len(pruned.trace),
+                "elapsed": pruned.elapsed,
+            },
+            "one_error": {
+                "considered": unpruned.sites_considered,
+                "viable": len(unpruned.trace),
+                "elapsed": unpruned.elapsed,
+            },
+        }
+
+    outcome = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation: CreateBounds pruning effectiveness",
+        ["scenario", "site sets considered", "viable", "time"],
+        [
+            ["5 injected errors", outcome["five_errors"]["considered"],
+             outcome["five_errors"]["viable"],
+             f"{outcome['five_errors']['elapsed']:.2f}s"],
+            ["1 injected error", outcome["one_error"]["considered"],
+             outcome["one_error"]["viable"],
+             f"{outcome['one_error']['elapsed']:.2f}s"],
+        ],
+    )
+    save_result("ablation_early_stopping", outcome)
+    # With many errors almost nothing is viable -> the search ends quickly.
+    assert outcome["five_errors"]["viable"] <= 2
+    assert outcome["five_errors"]["elapsed"] < outcome["one_error"]["elapsed"]

@@ -1,0 +1,115 @@
+"""Example 6 / Example 8 micro-benchmark: the paper's running example.
+
+Verifies the three repair costs of Example 6 (0.75 / ~1.08 / ~1.17) and
+that DeriveFixesOPT recovers the optimal atomic fixes of Example 8, while
+timing both fix-derivation variants on the running example.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.cost import Repair, repair_cost
+from repro.core.derive_fixes import derive_fixes
+from repro.core.derive_opt import min_fix_mult
+from repro.core.where_repair import repair_where
+from repro.logic.formulas import Comparison, disj
+from repro.logic.paths import replace_at
+from repro.logic.terms import const, intvar
+from repro.solver import Solver
+
+A, B, C, D, E, F = (intvar(x) for x in "ABCDEF")
+
+
+def cmp(op, lhs, rhs):
+    return Comparison(op, lhs, rhs)
+
+
+def predicates():
+    p_star = (cmp("=", A, C) & (cmp("<", E, const(5)) | cmp(">", D, const(10)) | cmp("<", D, const(7)))) | (
+        cmp("=", A, B) & (cmp("<>", D, E) | cmp(">", D, F))
+    )
+    p = (cmp("=", A, C) & (cmp("<>", D, E) | cmp(">", D, F))) | (
+        cmp("=", A, C)
+        & (cmp(">", D, const(11)) | cmp("<", D, const(7)) | cmp("<=", E, const(5)))
+    )
+    return p, p_star
+
+
+SITES = [(0, 0), (1, 1, 0), (1, 1, 2)]  # x4, x10, x12
+
+
+def test_example6_costs(benchmark, save_result):
+    def compute():
+        p, p_star = predicates()
+        three_site = Repair.of(
+            {
+                (0, 0): cmp("=", A, B),
+                (1, 1, 0): cmp(">", D, const(10)),
+                (1, 1, 2): cmp("<", E, const(5)),
+            }
+        )
+        two_site = Repair.of(
+            {
+                (0, 1): disj(
+                    cmp("<", E, const(5)),
+                    cmp(">", D, const(10)),
+                    cmp("<", D, const(7)),
+                ),
+                (1,): cmp("=", A, B)
+                & (cmp("<>", D, E) | cmp(">", D, F)),
+            }
+        )
+        trivial = Repair.of({(): p_star})
+        return {
+            "three_site": repair_cost(three_site, p, p_star),
+            "two_site": repair_cost(two_site, p, p_star),
+            "trivial": repair_cost(trivial, p, p_star),
+        }
+
+    costs = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Example 6: repair costs (w = 1/6)",
+        ["repair", "cost", "paper"],
+        [
+            ["3 sites (x4,x10,x12)", f"{costs['three_site']:.3f}", "0.75"],
+            ["2 sites (x5,x3)", f"{costs['two_site']:.3f}", "~1.08"],
+            ["1 site (root)", f"{costs['trivial']:.3f}", "~1.17"],
+        ],
+    )
+    save_result("example6_costs", costs)
+    assert costs["three_site"] == pytest.approx(0.75)
+    assert costs["two_site"] == pytest.approx(1.0833, abs=1e-3)
+    assert costs["trivial"] == pytest.approx(7 / 6, abs=1e-3)
+
+
+def test_example8_derive_fixes(benchmark):
+    p, p_star = predicates()
+    solver = Solver()
+
+    def run():
+        return derive_fixes(p, SITES, p_star, solver)
+
+    fixes = benchmark(run)
+    assert solver.is_equiv(replace_at(p, fixes), p_star)
+
+
+def test_example8_derive_fixes_opt(benchmark):
+    p, p_star = predicates()
+    solver = Solver()
+
+    def run():
+        return min_fix_mult(p, SITES, p_star, p_star, solver)
+
+    fixes = benchmark(run)
+    assert sorted(str(f) for f in fixes.values()) == ["A = B", "D > 10", "E < 5"]
+
+
+def test_example5_full_search(benchmark):
+    p, p_star = predicates()
+
+    def run():
+        return repair_where(p, p_star, max_sites=3, optimized=True, solver=Solver())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.found
+    assert result.cost <= 0.75 + 1e-9

@@ -1,0 +1,112 @@
+"""Figure 2 (a/b): DeriveFixes vs DeriveFixesOPT on conjunctive WHERE.
+
+Reproduces the TPCH conjunctive experiment: for each TPC-H query with
+4..11 atomic predicates, two errors are injected into atomic predicates;
+both repair variants run with a two-site cap.  Reported per query:
+repair cost vs the ground-truth cost (Figure 2a) and running time,
+including time-to-first-viable-repair (Figure 2b).
+
+Expected shape (paper): both variants return ground-truth-optimal repairs
+for conjunctive predicates; running time grows roughly exponentially with
+the number of unique atoms; DeriveFixes is faster than DeriveFixesOPT; the
+first viable repair arrives well before the search finishes.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.where_repair import repair_where, verify_repair
+from repro.solver import Solver
+from repro.workloads import tpch
+from repro.workloads.inject import inject_errors
+
+NUM_ERRORS = 2
+
+
+def run_variant(query, optimized, seed=1):
+    predicate = query.resolve().where
+    injected = inject_errors(predicate, NUM_ERRORS, seed=seed)
+    solver = Solver()
+    result = repair_where(
+        injected.wrong,
+        injected.correct,
+        max_sites=2,
+        optimized=optimized,
+        solver=solver,
+    )
+    assert result.found
+    assert verify_repair(injected.wrong, injected.correct, result.repair, solver)
+    return {
+        "query": query.name,
+        "atoms": query.num_atoms,
+        "optimized": optimized,
+        "cost": result.cost,
+        "ground_truth_cost": injected.ground_truth_cost(),
+        "elapsed": result.elapsed,
+        "first_viable": result.first_viable_elapsed,
+    }
+
+
+@pytest.mark.parametrize(
+    "query", tpch.CONJUNCTIVE_QUERIES, ids=[q.name for q in tpch.CONJUNCTIVE_QUERIES]
+)
+@pytest.mark.parametrize("optimized", [False, True], ids=["DeriveFixes", "OPT"])
+def test_fig2_repair(benchmark, query, optimized):
+    """Benchmark one (query, variant) cell of Figure 2."""
+    outcome = benchmark.pedantic(
+        run_variant, args=(query, optimized), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(outcome)
+    # Figure 2a's claim: conjunctive repairs are optimal (cost <= ground
+    # truth; ties or better when the injected error admits a smaller fix).
+    assert outcome["cost"] <= outcome["ground_truth_cost"] + 1e-9
+
+
+def test_fig2_summary_table(benchmark, save_result):
+    """Regenerate the full Figure 2 series in one pass."""
+
+    def run_all():
+        rows = []
+        for query in tpch.CONJUNCTIVE_QUERIES:
+            plain = run_variant(query, optimized=False)
+            optimized = run_variant(query, optimized=True)
+            rows.append((query, plain, optimized))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = []
+    payload = []
+    for query, plain, optimized in rows:
+        table.append(
+            [
+                query.name,
+                query.num_atoms,
+                f"{plain['ground_truth_cost']:.3f}",
+                f"{plain['cost']:.3f}",
+                f"{optimized['cost']:.3f}",
+                f"{plain['elapsed']:.2f}s",
+                f"{optimized['elapsed']:.2f}s",
+                f"{plain['first_viable']:.2f}s",
+            ]
+        )
+        payload.append({"plain": plain, "optimized": optimized})
+    print_table(
+        "Figure 2: conjunctive WHERE (2 injected errors)",
+        ["query", "atoms", "gt cost", "cost", "cost(OPT)",
+         "time", "time(OPT)", "1st repair"],
+        table,
+    )
+    save_result("fig2_conjunctive", payload)
+
+    # Shape assertions (paper's take-aways).
+    for _, plain, optimized in rows:
+        assert plain["cost"] <= plain["ground_truth_cost"] + 1e-9
+        assert optimized["cost"] <= optimized["ground_truth_cost"] + 1e-9
+    small = [r for r in rows if r[0].num_atoms <= 5]
+    large = [r for r in rows if r[0].num_atoms >= 10]
+    assert max(p["elapsed"] for _, p, _ in small) < min(
+        p["elapsed"] for _, p, _ in large
+    ), "running time must grow with atom count"
+    assert all(
+        p["first_viable"] <= p["elapsed"] for _, p, _ in rows
+    ), "first viable repair precedes search completion"

@@ -1,0 +1,91 @@
+"""Figure 3 (a/b): nested AND/OR WHERE with 1-5 injected errors (TPC-H Q7).
+
+Expected shape (paper): with one error both variants find the optimal
+repair (Lemma 5.2); with 2-3 errors DeriveFixes turns suboptimal while
+DeriveFixesOPT stays optimal or near-optimal; with 4-5 errors both are
+capped at two repair sites and fall back to coarse repairs -- and run
+*faster*, because CreateBounds prunes almost every candidate site set.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.where_repair import repair_where, verify_repair
+from repro.solver import Solver
+from repro.workloads import tpch
+from repro.workloads.inject import inject_errors
+
+ERROR_COUNTS = [1, 2, 3, 4, 5]
+
+
+def run_nested(num_errors, optimized):
+    predicate = tpch.Q7_NESTED.resolve().where
+    injected = inject_errors(
+        predicate, num_errors, seed=num_errors, allow_operator_swap=True
+    )
+    solver = Solver()
+    result = repair_where(
+        injected.wrong,
+        injected.correct,
+        max_sites=2,
+        optimized=optimized,
+        solver=solver,
+    )
+    assert result.found
+    assert verify_repair(injected.wrong, injected.correct, result.repair, solver)
+    return {
+        "errors": num_errors,
+        "optimized": optimized,
+        "cost": result.cost,
+        "ground_truth_cost": injected.ground_truth_cost(),
+        "elapsed": result.elapsed,
+        "sites": len(result.repair),
+    }
+
+
+@pytest.mark.parametrize("num_errors", ERROR_COUNTS)
+@pytest.mark.parametrize("optimized", [False, True], ids=["DeriveFixes", "OPT"])
+def test_fig3_repair(benchmark, num_errors, optimized):
+    outcome = benchmark.pedantic(
+        run_nested, args=(num_errors, optimized), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(outcome)
+
+
+def test_fig3_summary_table(benchmark, save_result):
+    def run_all():
+        return [
+            (k, run_nested(k, False), run_nested(k, True)) for k in ERROR_COUNTS
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = [
+        [
+            k,
+            f"{plain['ground_truth_cost']:.3f}",
+            f"{plain['cost']:.3f}",
+            f"{optimized['cost']:.3f}",
+            f"{plain['elapsed']:.2f}s",
+            f"{optimized['elapsed']:.2f}s",
+        ]
+        for k, plain, optimized in rows
+    ]
+    print_table(
+        "Figure 3: nested AND/OR WHERE (TPC-H Q7, 10 unique atoms)",
+        ["errors", "gt cost", "cost", "cost(OPT)", "time", "time(OPT)"],
+        table,
+    )
+    save_result(
+        "fig3_nested",
+        [{"plain": p, "optimized": o} for _, p, o in rows],
+    )
+
+    by_count = {k: (plain, optimized) for k, plain, optimized in rows}
+    # 1 error: both optimal (Lemma 5.2).
+    assert by_count[1][0]["cost"] <= by_count[1][0]["ground_truth_cost"] + 1e-9
+    assert by_count[1][1]["cost"] <= by_count[1][1]["ground_truth_cost"] + 1e-9
+    # 2-3 errors: OPT no worse than plain.
+    for k in (2, 3):
+        assert by_count[k][1]["cost"] <= by_count[k][0]["cost"] + 1e-9
+    # 5 errors: limited viable options -> faster than the 2-error search.
+    assert by_count[5][0]["elapsed"] < by_count[2][0]["elapsed"]

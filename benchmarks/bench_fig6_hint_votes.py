@@ -1,0 +1,62 @@
+"""Figures 6a/6b: participant categorization of TA vs Qr-Hint hints.
+
+Participants categorize each hint for Q3/Q4 as "Obvious (gives it away)",
+"Helpful but requires thinking", or "Unhelpful/incorrect".  Votes are
+simulated from the calibrated per-hint profiles of
+``repro.workloads.dblp``.
+
+Expected shape (paper): TA hint quality varies widely; Qr-Hint hints are
+consistently perceived as "helpful but requires thinking".
+"""
+
+from benchmarks.conftest import print_table
+from repro.workloads import dblp, userstudy
+
+PARTICIPANTS = {"Q3": 7, "Q4": 8}  # as in the paper's study
+
+
+def run_votes():
+    results = {}
+    for question in dblp.QUESTIONS[2:]:
+        by_source, per_hint = userstudy.simulate_votes(
+            question, PARTICIPANTS[question.qid], seed=42
+        )
+        results[question.qid] = (by_source, per_hint)
+    return results
+
+
+def test_fig6_votes(benchmark, save_result):
+    results = benchmark.pedantic(run_votes, rounds=1, iterations=1)
+    rows = []
+    payload = {}
+    for qid, (by_source, per_hint) in results.items():
+        for source, tally in sorted(by_source.items()):
+            rows.append(
+                [
+                    qid,
+                    source,
+                    tally.votes["Obvious"],
+                    tally.votes["Helpful"],
+                    tally.votes["Unhelpful"],
+                ]
+            )
+            payload[f"{qid}/{source}"] = dict(tally.votes)
+    print_table(
+        "Figure 6: hint categorization votes (simulated)",
+        ["question", "source", "Obvious", "Helpful", "Unhelpful"],
+        rows,
+    )
+    save_result("fig6_hint_votes", payload)
+
+    for qid, (by_source, _) in results.items():
+        qr = by_source["Qr-Hint"]
+        assert qr.share("Helpful") > qr.share("Obvious")
+        assert qr.share("Helpful") > qr.share("Unhelpful")
+    # Aggregate across questions: Qr-Hint more consistently helpful than TA.
+    qr_total = sum(
+        by_source["Qr-Hint"].share("Helpful") for by_source, _ in results.values()
+    )
+    ta_total = sum(
+        by_source["TA"].share("Helpful") for by_source, _ in results.values()
+    )
+    assert qr_total > ta_total

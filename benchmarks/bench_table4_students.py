@@ -1,0 +1,57 @@
+"""Table 4: per-question error statistics of the Students dataset.
+
+The synthesized dataset must reproduce the published marginals: 22/123/123
+supported wrong queries for questions (a)/(b)/(c), 38 for (d), with the
+published per-clause counts.
+"""
+
+from collections import Counter
+
+from benchmarks.conftest import print_table
+from repro.workloads import beers
+
+PAPER_COUNTS = {
+    ("a", "FROM"): 8,
+    ("a", "WHERE"): 9,
+    ("a", "SELECT"): 5,
+    ("b", "FROM"): 10,
+    ("b", "WHERE"): 96,
+    ("b", "SELECT"): 17,
+    ("c", "FROM"): 11,
+    ("c", "WHERE"): 105,
+    ("c", "SELECT"): 6,
+    ("c", "GROUP BY"): 1,
+}
+
+
+def build_marginals():
+    data = beers.students_dataset()
+    question_of = lambda e: "d" if e.question.startswith("d") else e.question
+    by_cell = Counter((question_of(e), e.clause) for e in data)
+    by_question = Counter(question_of(e) for e in data)
+    return by_cell, by_question
+
+
+def test_table4_marginals(benchmark, save_result):
+    by_cell, by_question = benchmark.pedantic(
+        build_marginals, rounds=1, iterations=1
+    )
+    rows = []
+    for (question, clause), count in sorted(by_cell.items()):
+        paper = PAPER_COUNTS.get((question, clause), "-")
+        rows.append([question, clause, count, paper])
+    print_table(
+        "Table 4: Students error statistics (supported queries)",
+        ["question", "clause", "generated", "paper"],
+        rows,
+    )
+    save_result(
+        "table4_students",
+        {"cells": {f"{q}/{c}": n for (q, c), n in by_cell.items()},
+         "questions": dict(by_question)},
+    )
+
+    assert by_question == Counter({"a": 22, "b": 123, "c": 123, "d": 38})
+    for cell, expected in PAPER_COUNTS.items():
+        assert by_cell[cell] == expected, cell
+    assert sum(by_question.values()) == 306

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module reproduces one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Benchmarks print the
+regenerated rows/series and persist them as JSON under ``benchmarks/out/``
+so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name, payload):
+        path = results_dir / f"{name}.json"
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        return path
+
+    return _save
+
+
+def print_table(title, headers, rows):
+    """Render a reproduced paper table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

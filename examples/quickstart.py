@@ -1,0 +1,69 @@
+"""Quickstart: staged hints for the paper's running example (Examples 1-2).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Catalog, QrHint, appear_equivalent
+
+# Example 1's schema: beer drinkers and bars (keys underlined in the paper).
+catalog = Catalog.from_spec(
+    {
+        "Likes": [("drinker", "STRING"), ("beer", "STRING")],
+        "Frequents": [("drinker", "STRING"), ("bar", "STRING")],
+        "Serves": [("bar", "STRING"), ("beer", "STRING"), ("price", "FLOAT")],
+    }
+)
+
+# The reference solution: for each beer Amy likes and each bar she
+# frequents that serves it, the bar's price rank among all bars serving it.
+target = """
+    SELECT L.beer, S1.bar, COUNT(*)
+    FROM Likes L, Frequents F, Serves S1, Serves S2
+    WHERE L.drinker = F.drinker AND F.bar = S1.bar AND L.beer = S1.beer
+      AND S1.beer = S2.beer AND S1.price <= S2.price
+    GROUP BY F.drinker, L.beer, S1.bar
+    HAVING F.drinker = 'Amy'
+"""
+
+# A wrong student query: missing the Frequents table, and ranking in the
+# wrong direction (> instead of >= under the s1/s2 role swap).
+working = """
+    SELECT s2.beer, s2.bar, COUNT(*)
+    FROM Likes, Serves s1, Serves s2
+    WHERE drinker = 'Amy' AND Likes.beer = s1.beer
+      AND Likes.beer = s2.beer AND s1.price > s2.price
+    GROUP BY s2.beer, s2.bar
+"""
+
+
+def main():
+    print("Target query:")
+    print("   ", " ".join(target.split()))
+    print("Working (wrong) query:")
+    print("   ", " ".join(working.split()))
+    print()
+
+    report = QrHint(catalog, target, working).run()
+
+    print("Stage-by-stage hints:")
+    for stage in report.stages:
+        status = "viable" if stage.passed else "needs repair"
+        print(f"  {stage.stage:9s} [{status}]")
+        for hint in stage.hints:
+            print(f"      hint: {hint.message}")
+            if hint.fix:
+                print(f"      (internal fix, not shown to students: {hint.fix})")
+
+    print()
+    print("Query after applying Qr-Hint's own repairs:")
+    print("   ", report.final_query.to_sql())
+
+    equivalent = appear_equivalent(
+        report.final_query, report.target_query, catalog, trials=60
+    )
+    print(f"Differentially equivalent to the target: {equivalent}")
+    print(f"Total time: {report.elapsed:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: a from-scratch reproduction of Qr-Hint (SIGMOD 2024).
+
+Qr-Hint takes a correct *target* SQL query and a wrong *working* query and
+produces staged, actionable repairs (FROM -> WHERE -> GROUP BY -> HAVING ->
+SELECT) that provably lead the user to a query equivalent to the target.
+
+Quickstart::
+
+    from repro import Catalog, QrHint
+
+    catalog = Catalog.from_spec({
+        "Likes": [("drinker", "STRING"), ("beer", "STRING")],
+        ...
+    })
+    report = QrHint(catalog, target_sql, working_sql).run()
+    for hint in report.hints:
+        print(hint)
+"""
+
+from repro.catalog import Catalog, Column, SqlType, Table
+from repro.core.pipeline import QrHint, Report, StageResult
+from repro.core.where_repair import repair_where
+from repro.engine import Database, appear_equivalent, execute
+from repro.query import ResolvedQuery
+from repro.solver import Solver
+from repro.sqlparser import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "QrHint",
+    "Report",
+    "ResolvedQuery",
+    "Solver",
+    "SqlType",
+    "StageResult",
+    "Table",
+    "appear_equivalent",
+    "execute",
+    "parse_query",
+    "repair_where",
+]

@@ -1,0 +1,25 @@
+"""Boolean minimization substrate (Quine-McCluskey / Petrick)."""
+
+from repro.boolmin.minimize import (
+    DONT_CARE,
+    TruthTable,
+    implicants_to_formula,
+    min_bool_exp,
+    minimize_table,
+)
+from repro.boolmin.quine_mccluskey import (
+    implicant_covers,
+    implicant_literals,
+    prime_implicants,
+)
+
+__all__ = [
+    "DONT_CARE",
+    "TruthTable",
+    "implicant_covers",
+    "implicant_literals",
+    "implicants_to_formula",
+    "min_bool_exp",
+    "minimize_table",
+    "prime_implicants",
+]

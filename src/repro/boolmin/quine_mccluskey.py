@@ -1,0 +1,53 @@
+"""Quine-McCluskey prime implicant generation with don't-cares.
+
+An implicant over ``n`` variables is a pair ``(value, mask)`` of ints:
+bit ``i`` of ``mask`` set means variable ``i`` is unconstrained (a dash);
+otherwise bit ``i`` of ``value`` gives the required polarity.
+"""
+
+from __future__ import annotations
+
+
+def implicant_covers(implicant, minterm):
+    value, mask = implicant
+    return (minterm | mask) == (value | mask)
+
+
+def implicant_literals(implicant, num_vars):
+    """Number of literals (non-dash positions) in the implicant."""
+    _, mask = implicant
+    return num_vars - bin(mask).count("1")
+
+
+def prime_implicants(minterms, dont_cares, num_vars):
+    """Compute all prime implicants of the on-set given don't-cares.
+
+    ``minterms`` and ``dont_cares`` are iterables of ints in
+    ``[0, 2**num_vars)``.  Returns a list of ``(value, mask)`` pairs.
+    """
+    current = {(m, 0) for m in set(minterms) | set(dont_cares)}
+    primes = set()
+    while current:
+        merged = set()
+        next_level = set()
+        grouped = {}
+        for value, mask in current:
+            key = (mask, bin(value).count("1"))
+            grouped.setdefault(key, []).append((value, mask))
+        by_mask = {}
+        for value, mask in current:
+            by_mask.setdefault(mask, set()).add(value)
+        for value, mask in current:
+            values = by_mask[mask]
+            for bit_index in range(num_vars):
+                bit = 1 << bit_index
+                if mask & bit:
+                    continue
+                partner = value ^ bit
+                if partner in values and (value & bit) == 0:
+                    merged.add((value, mask))
+                    merged.add((partner, mask))
+                    next_level.add((value & ~bit, mask | bit))
+        primes |= current - merged
+        current = next_level
+    return sorted(primes)

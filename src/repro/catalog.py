@@ -1,0 +1,120 @@
+"""Database schema catalog.
+
+The catalog describes the tables and typed columns that queries are resolved
+against.  Qr-Hint (following the paper, Section 3) assumes all columns are
+``NOT NULL`` and ignores key/foreign-key constraints, so a catalog is simply
+a mapping from table names to ordered, typed column lists.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SqlType(enum.Enum):
+    """Supported SQL column/expression types."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    BOOL = "BOOL"
+
+    @property
+    def is_numeric(self):
+        return self in (SqlType.INT, SqlType.FLOAT)
+
+    def join(self, other):
+        """Result type of an arithmetic combination of two types."""
+        if self == other:
+            return self
+        if {self, other} == {SqlType.INT, SqlType.FLOAT}:
+            return SqlType.FLOAT
+        raise ValueError(f"incompatible types: {self} and {other}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column of a table."""
+
+    name: str
+    type: SqlType
+
+    def __str__(self):
+        return f"{self.name} {self.type.value}"
+
+
+@dataclass(frozen=True)
+class Table:
+    """A named table with an ordered list of columns."""
+
+    name: str
+    columns: tuple[Column, ...]
+
+    def __post_init__(self):
+        seen = set()
+        for col in self.columns:
+            key = col.name.lower()
+            if key in seen:
+                raise ValueError(f"duplicate column {col.name!r} in {self.name}")
+            seen.add(key)
+
+    def column(self, name):
+        """Look up a column by (case-insensitive) name, or None."""
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        return None
+
+    @property
+    def column_names(self):
+        return [col.name for col in self.columns]
+
+    def __str__(self):
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"{self.name}({cols})"
+
+
+@dataclass
+class Catalog:
+    """A collection of tables forming a database schema."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Build a catalog from ``{"Table": [("col", SqlType), ...], ...}``.
+
+        Column types may be given either as :class:`SqlType` members or as
+        their string names (``"INT"``, ``"STRING"``, ...).
+        """
+        catalog = cls()
+        for table_name, columns in spec.items():
+            cols = []
+            for col_name, col_type in columns:
+                if isinstance(col_type, str):
+                    col_type = SqlType[col_type.upper()]
+                cols.append(Column(col_name, col_type))
+            catalog.add(Table(table_name, tuple(cols)))
+        return catalog
+
+    def add(self, table):
+        key = table.name.lower()
+        if key in self.tables:
+            raise ValueError(f"table {table.name!r} already in catalog")
+        self.tables[key] = table
+        return table
+
+    def table(self, name):
+        """Look up a table by (case-insensitive) name, or None."""
+        return self.tables.get(name.lower())
+
+    def __contains__(self, name):
+        return name.lower() in self.tables
+
+    def __iter__(self):
+        return iter(self.tables.values())
+
+    def __str__(self):
+        return "\n".join(str(t) for t in self.tables.values())

@@ -1,0 +1,124 @@
+"""Command-line interface: hint a wrong query against a reference query.
+
+Usage::
+
+    python -m repro --schema schema.json --target target.sql --working wrong.sql
+    python -m repro --schema schema.json --target-sql "SELECT ..." \
+                    --working-sql "SELECT ..." --show-fixes
+
+The schema file maps table names to [name, type] column pairs::
+
+    {"Serves": [["bar", "STRING"], ["beer", "STRING"], ["price", "FLOAT"]]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.catalog import Catalog
+from repro.core.pipeline import QrHint
+from repro.engine import appear_equivalent
+from repro.errors import ReproError
+from repro.sqlparser.rewrite import parse_query_extended
+
+
+def load_catalog(path):
+    with open(path) as handle:
+        spec = json.load(handle)
+    return Catalog.from_spec(
+        {table: [tuple(col) for col in columns] for table, columns in spec.items()}
+    )
+
+
+def _read_sql(args, file_attr, inline_attr, label):
+    inline = getattr(args, inline_attr)
+    if inline:
+        return inline
+    path = getattr(args, file_attr)
+    if not path:
+        raise SystemExit(f"either --{label} or --{label}-sql is required")
+    with open(path) as handle:
+        return handle.read()
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Qr-Hint: actionable hints for fixing a wrong SQL query.",
+    )
+    parser.add_argument("--schema", required=True, help="schema JSON file")
+    parser.add_argument("--target", help="file with the reference query")
+    parser.add_argument("--target-sql", help="reference query inline")
+    parser.add_argument("--working", help="file with the wrong query")
+    parser.add_argument("--working-sql", help="wrong query inline")
+    parser.add_argument(
+        "--show-fixes",
+        action="store_true",
+        help="also print the internal fixes (normally withheld from students)",
+    )
+    parser.add_argument(
+        "--max-sites", type=int, default=2, help="repair-site cap (default 2)"
+    )
+    parser.add_argument(
+        "--no-optimized",
+        action="store_true",
+        help="use plain DeriveFixes instead of DeriveFixesOPT",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially verify the repaired query against the target",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        catalog = load_catalog(args.schema)
+        target = parse_query_extended(
+            _read_sql(args, "target", "target_sql", "target"), catalog
+        )
+        working = parse_query_extended(
+            _read_sql(args, "working", "working_sql", "working"), catalog
+        )
+        report = QrHint(
+            catalog,
+            target,
+            working,
+            max_sites=args.max_sites,
+            optimized=not args.no_optimized,
+        ).run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if report.all_passed:
+        print("The working query is already equivalent to the target.")
+        return 0
+
+    for stage in report.stages:
+        if stage.passed:
+            continue
+        print(f"[{stage.stage}]")
+        for hint in stage.hints:
+            print(f"  - {hint.message}")
+            if args.show_fixes and hint.fix:
+                print(f"    fix: {hint.site}  ->  {hint.fix}")
+    print()
+    print("Query after applying all repairs:")
+    print(f"  {report.final_query.to_sql()}")
+    if args.verify:
+        ok = appear_equivalent(
+            report.final_query, report.target_query, catalog, trials=60
+        )
+        print(f"Differential verification: {'PASS' if ok else 'FAIL'}")
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Qr-Hint core: staged hint generation and predicate repair."""
+
+from repro.core.bounds import create_bounds
+from repro.core.cost import Repair, repair_cost
+from repro.core.derive_fixes import derive_fixes, distribute_fixes
+from repro.core.derive_opt import min_fix_mult
+from repro.core.from_stage import apply_from_fix, check_from
+from repro.core.groupby_stage import apply_grouping_fix, fix_grouping
+from repro.core.having_stage import analyze_having, repair_having, split_having
+from repro.core.hints import Hint
+from repro.core.minfix import min_fix
+from repro.core.pipeline import QrHint, Report, StageResult
+from repro.core.select_stage import apply_select_fix, fix_select
+from repro.core.table_mapping import find_table_mapping, unify_target
+from repro.core.where_repair import RepairResult, repair_where, verify_repair
+
+__all__ = [
+    "Hint",
+    "QrHint",
+    "Repair",
+    "RepairResult",
+    "Report",
+    "StageResult",
+    "analyze_having",
+    "apply_from_fix",
+    "apply_grouping_fix",
+    "apply_select_fix",
+    "check_from",
+    "create_bounds",
+    "derive_fixes",
+    "distribute_fixes",
+    "find_table_mapping",
+    "fix_grouping",
+    "fix_select",
+    "min_fix",
+    "min_fix_mult",
+    "repair_cost",
+    "repair_having",
+    "repair_where",
+    "split_having",
+    "unify_target",
+    "verify_repair",
+]

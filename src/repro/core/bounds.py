@@ -1,0 +1,44 @@
+"""``CreateBounds`` (Algorithm 2): repair bounds for a set of sites.
+
+Given a predicate ``P`` and disjoint repair sites ``S``, compute formulas
+``P_lo => P' => P_hi`` bounding every predicate ``P'`` obtainable by fixing
+exactly the sites in ``S`` (Lemma 5.3).  Together with the solver this gives
+an exact viability test for candidate site sets: sites are viable iff the
+target lies within the bounds (Lemmas 5.3 + 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import And, FALSE, Not, Or, TRUE, conj, disj, neg
+from repro.logic.paths import paths_under
+
+
+def create_bounds(formula, sites):
+    """Return ``(lower, upper)`` per Algorithm 2.
+
+    ``sites`` is an iterable of paths (relative to ``formula``).
+    """
+    sites = list(sites)
+    if () in sites:
+        return (FALSE, TRUE)
+    if formula.is_atomic() or not formula.children():
+        return (formula, formula)
+    if isinstance(formula, Not):
+        child_lower, child_upper = create_bounds(
+            formula.child, paths_under(sites, (0,))
+        )
+        return (neg(child_upper), neg(child_lower))
+    if isinstance(formula, (And, Or)):
+        lowers, uppers = [], []
+        for i, child in enumerate(formula.children()):
+            child_lower, child_upper = create_bounds(child, paths_under(sites, (i,)))
+            lowers.append(child_lower)
+            uppers.append(child_upper)
+        combine = conj if isinstance(formula, And) else disj
+        return (combine(*lowers), combine(*uppers))
+    raise TypeError(f"unexpected formula node {formula!r}")
+
+
+def bounds_admit(solver, lower, target, upper, context=()):
+    """True iff ``target`` lies within ``[lower, upper]`` (site viability)."""
+    return solver.in_bound(lower, target, upper, context)

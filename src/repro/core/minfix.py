@@ -1,0 +1,267 @@
+"""``MinFix`` and helpers (Algorithms 5 and 6).
+
+Given a target bound ``[l*, u*]`` for a repair site, find a smallest formula
+inside the bound:
+
+1. ``MapAtomPreds`` collects the semantically unique atomic predicates of
+   the bound formulas (merging atoms that are equivalent, or equivalent up
+   to negation, under the ambient context) and maps them to Boolean
+   variables;
+2. ``BuildTruthTable`` enumerates truth assignments, marking theory-
+   infeasible rows and bound-gap rows as don't-cares;
+3. ``MinBoolExp`` (Quine-McCluskey/Petrick) minimizes the resulting partial
+   function, and the chosen implicants are rendered back over the atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boolmin import DONT_CARE, TruthTable, min_bool_exp, minimize_table
+from repro.boolmin.minimize import implicants_to_formula
+from repro.errors import SolverLimitError
+from repro.logic.formulas import (
+    And,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    conj,
+    neg,
+)
+
+MAX_UNIQUE_ATOMS = 14
+
+
+@dataclass
+class AtomMapping:
+    """Result of ``MapAtomPreds``: unique atoms + formula->Boolean mapping."""
+
+    atoms: list  # representative Comparison per Boolean variable
+    polarity: dict  # original atom -> (var_index, positive)
+
+    @property
+    def num_vars(self):
+        return len(self.atoms)
+
+    def literal_formula(self, index, positive):
+        atom = self.atoms[index]
+        return atom if positive else neg(atom)
+
+    def assignment_formula(self, assignment):
+        """Conjunction of literals for a truth assignment (int bitmask)."""
+        literals = []
+        for i, atom in enumerate(self.atoms):
+            literals.append(atom if assignment & (1 << i) else neg(atom))
+        return conj(*literals)
+
+    def evaluate(self, formula, assignment):
+        """Evaluate ``formula`` propositionally under the assignment."""
+        if isinstance(formula, BoolConst):
+            return formula.value
+        if isinstance(formula, Comparison):
+            entry = self.polarity.get(formula)
+            if entry is None:
+                # Minimized formulas render negative literals as negated
+                # atoms; map them back through the complement.
+                complement = self.polarity.get(formula.negated())
+                if complement is None:
+                    raise KeyError(f"atom not in mapping: {formula}")
+                index, positive = complement[0], not complement[1]
+            else:
+                index, positive = entry
+            bit = bool(assignment & (1 << index))
+            return bit if positive else not bit
+        if isinstance(formula, Not):
+            return not self.evaluate(formula.child, assignment)
+        if isinstance(formula, And):
+            return all(self.evaluate(c, assignment) for c in formula.operands)
+        if isinstance(formula, Or):
+            return any(self.evaluate(c, assignment) for c in formula.operands)
+        raise TypeError(f"unexpected formula {formula!r}")
+
+
+def map_atom_preds(formulas, solver, context=()):
+    """``MapAtomPreds`` (Algorithm 5) over a collection of formulas."""
+    atoms = []
+    polarity = {}
+    for formula in formulas:
+        for atom in formula.atoms():
+            if atom in polarity:
+                continue
+            mapped = None
+            for i, representative in enumerate(atoms):
+                if solver.is_equiv(atom, representative, context):
+                    mapped = (i, True)
+                    break
+                if solver.is_equiv(atom, neg(representative), context):
+                    mapped = (i, False)
+                    break
+            if mapped is None:
+                atoms.append(atom)
+                mapped = (len(atoms) - 1, True)
+            polarity[atom] = mapped
+    return AtomMapping(atoms, polarity)
+
+
+def build_truth_table(mapping, lower, upper, solver, context=()):
+    """``BuildTruthTable`` (Algorithm 6 subroutine).
+
+    Output per assignment: don't-care if the literal conjunction is theory-
+    infeasible or if the bound leaves slack (l=0, u=1); otherwise the shared
+    truth value of ``lower`` and ``upper``.
+
+    Enumeration is a DFS over atom polarities with partial-assignment
+    feasibility pruning: once a literal prefix is theory-inconsistent,
+    every completion is a don't-care and the subtree is skipped.  When the
+    context consists of atomic conjuncts only, feasibility goes straight to
+    the theory layer (no SAT search); otherwise the SMT facade is used.
+    """
+    table = TruthTable(mapping.num_vars)
+    checker = _FeasibilityChecker(mapping, solver, context)
+
+    def record(assignment):
+        low = mapping.evaluate(lower, assignment)
+        high = mapping.evaluate(upper, assignment)
+        if low == high:
+            table.set(assignment, 1 if low else 0)
+        else:
+            table.set(assignment, DONT_CARE)
+
+    def dfs(index, assignment):
+        if not checker.feasible_prefix(assignment, index):
+            for completion in range(2 ** (mapping.num_vars - index)):
+                table.set(assignment | (completion << index), DONT_CARE)
+            return
+        if index == mapping.num_vars:
+            record(assignment)
+            return
+        dfs(index + 1, assignment)
+        dfs(index + 1, assignment | (1 << index))
+
+    dfs(0, 0)
+    return table
+
+
+class _FeasibilityChecker:
+    """Feasibility of literal prefixes, with a theory-direct fast path."""
+
+    def __init__(self, mapping, solver, context):
+        self.mapping = mapping
+        self.solver = solver
+        self.context = tuple(context)
+        self._literals = self._try_canonicalize()
+
+    def _try_canonicalize(self):
+        from repro.logic.formulas import And as _And, BoolConst as _BoolConst
+        from repro.solver.atoms import CanonicalLiteral, canonicalize
+
+        atom_literals = []
+        for atom in self.mapping.atoms:
+            lit = canonicalize(atom)
+            if not isinstance(lit, CanonicalLiteral):
+                return None
+            atom_literals.append(lit)
+        context_literals = []
+        pending = list(self.context)
+        while pending:
+            formula = pending.pop()
+            if isinstance(formula, _BoolConst):
+                if not formula.value:
+                    context_literals = None
+                    break
+                continue
+            if isinstance(formula, _And):
+                pending.extend(formula.operands)
+                continue
+            if formula.is_atomic():
+                lit = canonicalize(formula)
+                if isinstance(lit, bool):
+                    if not lit:
+                        return None  # context unsatisfiable; slow path decides
+                    continue
+                context_literals.append((lit.atom, lit.positive))
+                continue
+            return None  # non-literal context: use the SMT facade
+        return atom_literals, tuple(context_literals or ())
+
+    def feasible_prefix(self, assignment, length):
+        if self._literals is None:
+            return self._feasible_slow(assignment, length)
+        atom_literals, context_literals = self._literals
+        literals = list(context_literals)
+        for i in range(length):
+            lit = atom_literals[i]
+            positive = bool(assignment & (1 << i))
+            literals.append((lit.atom, lit.positive == positive))
+        if not literals:
+            return True
+        return self.solver._theory_ok(tuple(sorted(literals, key=str)))
+
+    def _feasible_slow(self, assignment, length):
+        literals = []
+        for i in range(length):
+            atom = self.mapping.atoms[i]
+            literals.append(atom if assignment & (1 << i) else neg(atom))
+        return self.solver.is_satisfiable(conj(*literals), self.context)
+
+
+def min_fix(lower, upper, solver, context=()):
+    """``MinFix`` (Algorithm 6): a smallest formula within ``[l*, u*]``."""
+    # Degenerate bounds first: they admit a constant.
+    if solver.is_valid(lower, context):
+        return TRUE
+    if solver.is_unsatisfiable(upper, context):
+        return FALSE
+    mapping = map_atom_preds([lower, upper], solver, context)
+    if mapping.num_vars > MAX_UNIQUE_ATOMS:
+        raise SolverLimitError(
+            f"MinFix over {mapping.num_vars} unique atoms exceeds the "
+            f"{MAX_UNIQUE_ATOMS}-atom truth-table budget"
+        )
+    table = build_truth_table(mapping, lower, upper, solver, context)
+    return min_bool_exp(table, mapping.atoms)
+
+
+def min_fix_pos(lower, upper, solver, context=()):
+    """``MinFix`` variant returning a product-of-sums (CNF-style) formula.
+
+    Used by ``DistributeFixes`` when the repaired children share an AND
+    parent (Section 5.2): minimize the complement as SOP and negate.
+    """
+    if solver.is_valid(lower, context):
+        return TRUE
+    if solver.is_unsatisfiable(upper, context):
+        return FALSE
+    mapping = map_atom_preds([lower, upper], solver, context)
+    if mapping.num_vars > MAX_UNIQUE_ATOMS:
+        raise SolverLimitError("MinFix (POS) atom budget exceeded")
+    table = build_truth_table(mapping, lower, upper, solver, context)
+    flipped = TruthTable(table.num_vars)
+    for assignment in range(2**table.num_vars):
+        value = table.output(assignment)
+        if value == DONT_CARE:
+            flipped.set(assignment, DONT_CARE)
+        else:
+            flipped.set(assignment, 1 - value)
+    implicants = minimize_table(flipped)
+    if not implicants:
+        return TRUE
+    sop_of_negation = implicants_to_formula(implicants, mapping.atoms)
+    return _negate_sop(sop_of_negation)
+
+
+def _negate_sop(formula):
+    """De Morgan a sum-of-products into a product-of-sums."""
+    from repro.logic.formulas import disj
+
+    if formula in (TRUE, FALSE):
+        return neg(formula)
+    clauses = formula.operands if isinstance(formula, Or) else (formula,)
+    out = []
+    for clause in clauses:
+        literals = clause.operands if isinstance(clause, And) else (clause,)
+        out.append(disj(*(neg(lit) for lit in literals)))
+    return conj(*out)

@@ -1,0 +1,261 @@
+"""The Qr-Hint orchestrator (Section 3.1).
+
+Walks the logical execution flow FROM -> WHERE -> GROUP BY -> HAVING ->
+SELECT.  At each stage it runs the viability check; on failure it computes
+a repair, emits hints, and (in autofix mode, used for verification and
+experiments) applies its own repair to the working query before moving on.
+By Theorem 3.1 the staged fixes compose into a query equivalent to the
+target, which callers can confirm via the relational engine's differential
+check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core import hints as hint_templates
+from repro.core.cost import DEFAULT_SITE_WEIGHT
+from repro.core.from_stage import apply_from_fix, check_from
+from repro.core.groupby_stage import apply_grouping_fix, fix_grouping
+from repro.core.having_stage import (
+    analyze_having,
+    having_equivalent,
+    repair_having,
+    split_having,
+)
+from repro.core.select_stage import apply_select_fix, fix_select
+from repro.core.table_mapping import unify_target
+from repro.core.where_repair import repair_where
+from repro.errors import RepairError
+from repro.logic.substitute import substitute
+from repro.query import ResolvedQuery
+from repro.solver import Solver
+from repro.solver.aggregates import agg_scalar_var
+from repro.sqlparser import parse_query
+
+STAGES_SPJ = ("FROM", "WHERE", "SELECT")
+STAGES_SPJA = ("FROM", "WHERE", "GROUP BY", "HAVING", "SELECT")
+
+
+@dataclass
+class StageResult:
+    """Outcome of one pipeline stage."""
+
+    stage: str
+    passed: bool  # viability held before any fix
+    hints: list = field(default_factory=list)
+    repair_cost: float | None = None
+    elapsed: float = 0.0
+    query_after: ResolvedQuery | None = None
+
+
+@dataclass
+class Report:
+    """Full pipeline outcome."""
+
+    stages: list
+    final_query: ResolvedQuery
+    target_query: ResolvedQuery
+    elapsed: float
+
+    @property
+    def all_passed(self):
+        return all(stage.passed for stage in self.stages)
+
+    @property
+    def hints(self):
+        out = []
+        for stage in self.stages:
+            out.extend(stage.hints)
+        return out
+
+    def summary(self):
+        lines = []
+        for stage in self.stages:
+            status = "ok" if stage.passed else "repair"
+            lines.append(f"{stage.stage:9s} {status}")
+            for hint in stage.hints:
+                lines.append(f"    {hint.message}")
+        return "\n".join(lines)
+
+
+class QrHint:
+    """End-to-end hint generation for a (target, working) query pair."""
+
+    def __init__(
+        self,
+        catalog,
+        target,
+        working,
+        max_sites=2,
+        optimized=True,
+        solver=None,
+        weight=DEFAULT_SITE_WEIGHT,
+    ):
+        self.catalog = catalog
+        self.target = self._coerce(target)
+        self.working = self._coerce(working)
+        self.max_sites = max_sites
+        self.optimized = optimized
+        self.solver = solver or Solver()
+        self.weight = weight
+
+    def _coerce(self, query):
+        if isinstance(query, str):
+            return parse_query(query, self.catalog)
+        return query
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Run all stages, auto-applying each repair (Theorem 3.1 walk)."""
+        start = time.perf_counter()
+        stages = []
+        working = self.working
+
+        # ---- FROM ----
+        stage_start = time.perf_counter()
+        delta = check_from(self.target, working)
+        result = StageResult("FROM", passed=delta.viable)
+        if not delta.viable:
+            result.hints = hint_templates.from_stage_hints(delta)
+            working = apply_from_fix(working, self.target, delta)
+        result.elapsed = time.perf_counter() - stage_start
+        result.query_after = working
+        stages.append(result)
+
+        # ---- unify alias namespaces (table mapping) ----
+        target, _mapping = unify_target(self.target, working, self.catalog)
+
+        spja = target.is_spja or working.is_spja
+        if spja:
+            new_where_t, new_having_t = split_having(
+                target.where, target.group_by, target.having
+            )
+            target = replace(target, where=new_where_t, having=new_having_t)
+            new_where_w, new_having_w = split_having(
+                working.where, working.group_by, working.having
+            )
+            working = replace(working, where=new_where_w, having=new_having_w)
+
+        # ---- WHERE ----
+        stage_start = time.perf_counter()
+        result = StageResult("WHERE", passed=True)
+        if not self.solver.is_equiv(working.where, target.where):
+            result.passed = False
+            repair_result = repair_where(
+                working.where,
+                target.where,
+                max_sites=self.max_sites,
+                optimized=self.optimized,
+                solver=self.solver,
+                weight=self.weight,
+            )
+            if not repair_result.found:
+                raise RepairError("WHERE stage found no viable repair")
+            result.hints = hint_templates.predicate_repair_hints(
+                "WHERE", repair_result.repair, working.where
+            )
+            result.repair_cost = repair_result.cost
+            working = replace(
+                working, where=repair_result.repair.apply(working.where)
+            )
+        result.elapsed = time.perf_counter() - stage_start
+        result.query_after = working
+        stages.append(result)
+
+        if spja:
+            # ---- GROUP BY ----
+            stage_start = time.perf_counter()
+            delta = fix_grouping(
+                target.where, working.group_by, target.group_by, self.solver
+            )
+            result = StageResult("GROUP BY", passed=delta.viable)
+            if not delta.viable:
+                result.hints = hint_templates.grouping_hints(
+                    delta, working.group_by
+                )
+                working = replace(
+                    working,
+                    group_by=apply_grouping_fix(
+                        working.group_by, target.group_by, delta
+                    ),
+                )
+            result.elapsed = time.perf_counter() - stage_start
+            result.query_after = working
+            stages.append(result)
+
+            # ---- HAVING ----
+            stage_start = time.perf_counter()
+            analysis = analyze_having(
+                target.where,
+                working.group_by,
+                target.group_by,
+                working.having,
+                target.having,
+            )
+            passed = having_equivalent(analysis, self.solver)
+            result = StageResult("HAVING", passed=passed)
+            if not passed:
+                repair_result = repair_having(
+                    analysis,
+                    max_sites=self.max_sites,
+                    optimized=self.optimized,
+                    solver=self.solver,
+                )
+                if not repair_result.found:
+                    raise RepairError("HAVING stage found no viable repair")
+                result.hints = hint_templates.predicate_repair_hints(
+                    "HAVING", repair_result.repair, analysis.working_scalar
+                )
+                result.repair_cost = repair_result.cost
+                fixed_scalar = repair_result.repair.apply(analysis.working_scalar)
+                working = replace(
+                    working, having=analysis.descalarize(fixed_scalar)
+                )
+            result.elapsed = time.perf_counter() - stage_start
+            result.query_after = working
+            stages.append(result)
+
+        # ---- SELECT ----
+        stage_start = time.perf_counter()
+        if spja:
+            analysis = analyze_having(
+                target.where,
+                working.group_by,
+                target.group_by,
+                working.having,
+                target.having,
+            )
+            context = analysis.context + (analysis.target_scalar,)
+        else:
+            context = (target.where,)
+        delta = fix_select(working.select, target.select, context, self.solver)
+        passed = delta.viable and working.distinct == target.distinct
+        result = StageResult("SELECT", passed=passed)
+        if not delta.viable:
+            result.hints.extend(
+                hint_templates.select_hints(
+                    delta, working.select, len(target.select)
+                )
+            )
+            working = replace(
+                working,
+                select=apply_select_fix(working.select, target.select, delta),
+                select_aliases=(),
+            )
+        if working.distinct != target.distinct:
+            result.hints.append(hint_templates.distinct_hint(working.distinct))
+            working = replace(working, distinct=target.distinct)
+        result.elapsed = time.perf_counter() - stage_start
+        result.query_after = working
+        stages.append(result)
+
+        return Report(
+            stages=stages,
+            final_query=working,
+            target_query=target,
+            elapsed=time.perf_counter() - start,
+        )
+

@@ -1,0 +1,69 @@
+"""In-memory database instances for the relational engine.
+
+Rows are dictionaries from lower-cased column names to Python values
+(:class:`~fractions.Fraction` for numerics, ``str`` for strings).  Tables
+are *bags*: duplicate rows are meaningful throughout (the paper's FROM
+stage, Lemma 4.2, depends on bag semantics).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.catalog import SqlType
+
+
+class Database:
+    """A named collection of row bags conforming to a catalog."""
+
+    def __init__(self, catalog, tables=None):
+        self.catalog = catalog
+        self.tables = {}
+        for name, rows in (tables or {}).items():
+            self.set_table(name, rows)
+
+    def set_table(self, name, rows):
+        table = self.catalog.table(name)
+        if table is None:
+            raise KeyError(f"table {name!r} not in catalog")
+        normalized = []
+        for row in rows:
+            if isinstance(row, dict):
+                values = [row[c.name] if c.name in row else row[c.name.lower()]
+                          for c in table.columns]
+            else:
+                values = list(row)
+            if len(values) != len(table.columns):
+                raise ValueError(
+                    f"row arity {len(values)} != {len(table.columns)} for {name}"
+                )
+            normalized.append(
+                {
+                    c.name.lower(): _coerce(v, c.type)
+                    for c, v in zip(table.columns, values)
+                }
+            )
+        self.tables[table.name.lower()] = normalized
+
+    def rows(self, name):
+        return self.tables.get(name.lower(), [])
+
+    def __repr__(self):
+        sizes = {name: len(rows) for name, rows in self.tables.items()}
+        return f"Database({sizes})"
+
+
+def _coerce(value, sql_type):
+    if sql_type == SqlType.STRING:
+        return str(value)
+    if sql_type == SqlType.BOOL:
+        return bool(value)
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("bool value for numeric column")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**9)
+    raise TypeError(f"cannot coerce {value!r} to {sql_type}")

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParseError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class ResolutionError(ReproError):
+    """Raised when names in a query cannot be resolved against a catalog."""
+
+
+class UnsupportedSQLError(ReproError):
+    """Raised for SQL features outside the supported SPJ/SPJA fragment."""
+
+
+class TypeError_(ReproError):
+    """Raised on SQL type mismatches (e.g. comparing INT with STRING)."""
+
+
+class SolverError(ReproError):
+    """Raised when the SMT layer is given input it cannot handle."""
+
+
+class SolverLimitError(SolverError):
+    """Raised when a solver resource limit (atoms, steps) is exceeded."""
+
+
+class RepairError(ReproError):
+    """Raised when a repair cannot be constructed for a stage."""

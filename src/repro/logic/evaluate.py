@@ -1,0 +1,102 @@
+"""Concrete evaluation of terms and formulas over variable assignments.
+
+Used by the relational engine to execute WHERE/HAVING/SELECT, and by tests
+to brute-force-check solver verdicts on small domains.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from repro.logic.formulas import And, BoolConst, Comparison, Not, Or
+from repro.logic.terms import AggCall, Arith, Const, Neg, Var
+
+
+class EvaluationError(Exception):
+    """Raised when evaluation fails (unbound variable, div by zero, ...)."""
+
+
+def like_to_regex(pattern):
+    """Compile a SQL LIKE pattern (``%`` and ``_`` wildcards) to a regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def sql_like(value, pattern):
+    return like_to_regex(pattern).match(str(value)) is not None
+
+
+def eval_term(term, env):
+    """Evaluate ``term`` under ``env`` mapping variable names to values.
+
+    Aggregate calls must be pre-bound in ``env`` under their string form
+    (the engine computes them per group before evaluating HAVING/SELECT).
+    """
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        if term.name not in env:
+            raise EvaluationError(f"unbound variable {term.name!r}")
+        return env[term.name]
+    if isinstance(term, AggCall):
+        key = str(term)
+        if key not in env:
+            raise EvaluationError(f"unbound aggregate {key!r}")
+        return env[key]
+    if isinstance(term, Neg):
+        return -eval_term(term.child, env)
+    if isinstance(term, Arith):
+        left = eval_term(term.left, env)
+        right = eval_term(term.right, env)
+        if term.op == "+":
+            return left + right
+        if term.op == "-":
+            return left - right
+        if term.op == "*":
+            return left * right
+        if term.op == "/":
+            if right == 0:
+                raise EvaluationError("division by zero")
+            return Fraction(left) / Fraction(right)
+    raise EvaluationError(f"cannot evaluate {term!r}")
+
+
+def eval_formula(formula, env):
+    """Evaluate ``formula`` to a Python bool under ``env``."""
+    if isinstance(formula, BoolConst):
+        return formula.value
+    if isinstance(formula, Comparison):
+        left = eval_term(formula.left, env)
+        right = eval_term(formula.right, env)
+        op = formula.op
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "LIKE":
+            return sql_like(left, str(right))
+        if op == "NOT LIKE":
+            return not sql_like(left, str(right))
+    if isinstance(formula, Not):
+        return not eval_formula(formula.child, env)
+    if isinstance(formula, And):
+        return all(eval_formula(c, env) for c in formula.operands)
+    if isinstance(formula, Or):
+        return any(eval_formula(c, env) for c in formula.operands)
+    raise EvaluationError(f"cannot evaluate {formula!r}")

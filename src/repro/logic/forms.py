@@ -1,0 +1,81 @@
+"""Normal forms: NNF and DNF conversion for formulas."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.logic.formulas import (
+    And,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    conj,
+    disj,
+    neg,
+)
+
+
+def to_nnf(formula):
+    """Negation normal form: NOT appears only above atoms (then folded in)."""
+    if isinstance(formula, (BoolConst, Comparison)):
+        return formula
+    if isinstance(formula, And):
+        return conj(*(to_nnf(c) for c in formula.operands))
+    if isinstance(formula, Or):
+        return disj(*(to_nnf(c) for c in formula.operands))
+    if isinstance(formula, Not):
+        child = formula.child
+        if isinstance(child, BoolConst):
+            return FALSE if child.value else TRUE
+        if isinstance(child, Comparison):
+            return child.negated()
+        if isinstance(child, Not):
+            return to_nnf(child.child)
+        if isinstance(child, And):
+            return disj(*(to_nnf(neg(c)) for c in child.operands))
+        if isinstance(child, Or):
+            return conj(*(to_nnf(neg(c)) for c in child.operands))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def to_dnf(formula, max_clauses=4096):
+    """Disjunctive normal form via NNF + distribution.
+
+    Raises ``ValueError`` if the DNF would exceed ``max_clauses`` clauses
+    (the callers that need DNF only ever see small predicates).
+    """
+    nnf = to_nnf(formula)
+    clauses = _dnf_clauses(nnf, max_clauses)
+    return disj(*(conj(*clause) for clause in clauses))
+
+
+def _dnf_clauses(formula, max_clauses):
+    if isinstance(formula, BoolConst):
+        return [[]] if formula.value else []
+    if isinstance(formula, Comparison):
+        return [[formula]]
+    if isinstance(formula, Or):
+        out = []
+        for child in formula.operands:
+            out.extend(_dnf_clauses(child, max_clauses))
+            if len(out) > max_clauses:
+                raise ValueError("DNF blow-up")
+        return out
+    if isinstance(formula, And):
+        parts = [_dnf_clauses(child, max_clauses) for child in formula.operands]
+        total = 1
+        for p in parts:
+            total *= max(len(p), 1)
+            if total > max_clauses:
+                raise ValueError("DNF blow-up")
+        out = []
+        for combo in itertools.product(*parts):
+            merged = []
+            for clause in combo:
+                merged.extend(clause)
+            out.append(merged)
+        return out
+    raise TypeError(f"unexpected node in NNF: {formula!r}")

@@ -1,0 +1,17 @@
+"""SMT solver substrate: SAT core + arithmetic/string theories + facade."""
+
+from repro.solver.smt import (
+    Solver,
+    default_solver,
+    is_equiv,
+    is_satisfiable,
+    is_unsatisfiable,
+)
+
+__all__ = [
+    "Solver",
+    "default_solver",
+    "is_equiv",
+    "is_satisfiable",
+    "is_unsatisfiable",
+]

@@ -1,0 +1,188 @@
+"""Linear arithmetic theory solver (Fourier-Motzkin elimination).
+
+Decides satisfiability of conjunctions of linear constraints
+``expr (= | <= | <) 0`` plus disequalities ``expr <> 0`` over rational
+variables, with *integer tightening* (``e < 0`` with integral ``e`` over
+INT-typed terms becomes ``e <= -1``) recovering the integer-domain
+inferences the paper relies on (e.g. ``A > 100  =>  MAX(A) >= 101``).
+
+Over the rationals the procedure is a complete decision procedure for this
+fragment; disequalities are handled exactly via the convexity argument: a
+consistent system of inequalities together with disequalities ``e_i <> 0``
+is satisfiable iff no single ``e_i = 0`` is entailed (an affine subspace
+over an infinite field is never a finite union of proper subspaces).
+Over the integers the procedure is sound for UNSAT (never reports UNSAT
+for a satisfiable system) which is the direction Qr-Hint's correctness
+depends on.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+
+from repro.logic.linear import LinExpr
+
+EQ = "="
+LE = "<="
+LT = "<"
+
+
+class Constraint:
+    """A linear constraint ``expr rel 0``."""
+
+    __slots__ = ("expr", "rel")
+
+    def __init__(self, expr, rel):
+        self.expr = expr
+        self.rel = rel
+
+    def __repr__(self):
+        return f"{self.expr} {self.rel} 0"
+
+    def tightened(self):
+        """Integer tightening: strict integral constraints become <=."""
+        if self.rel != LT:
+            return self
+        expr = self.expr
+        if not expr.coeffs or not expr.all_int_typed():
+            return self
+        denom = lcm(
+            expr.constant.denominator, *(c.denominator for _, c in expr.coeffs)
+        )
+        scaled = expr.scale(denom)
+        if not scaled.is_integral():
+            return self
+        # scaled < 0 over integers  <=>  scaled <= -1  <=>  scaled + 1 <= 0
+        return Constraint(scaled.add(LinExpr.of_const(1)), LE)
+
+
+def _substitute(expr, var, replacement):
+    """Replace ``var`` in ``expr`` by the LinExpr ``replacement``."""
+    coeffs = expr.coeff_dict()
+    coeff = coeffs.pop(var, Fraction(0))
+    base = LinExpr.build(coeffs, expr.constant)
+    if coeff == 0:
+        return base
+    return base.add(replacement.scale(coeff))
+
+
+def _check_constant(constraint):
+    """Evaluate a variable-free constraint; True if it holds."""
+    value = constraint.expr.constant
+    if constraint.rel == EQ:
+        return value == 0
+    if constraint.rel == LE:
+        return value <= 0
+    return value < 0
+
+
+def is_satisfiable(constraints, disequalities=()):
+    """Decide a conjunction of constraints and disequalities.
+
+    ``constraints`` is an iterable of :class:`Constraint`;
+    ``disequalities`` an iterable of :class:`LinExpr` (meaning ``expr <> 0``).
+    Returns True (satisfiable) or False.
+    """
+    constraints = [c.tightened() for c in constraints]
+    if not _feasible(constraints):
+        return False
+    for diseq in disequalities:
+        if diseq.is_constant:
+            if diseq.constant == 0:
+                return False
+            continue
+        # The system forces diseq = 0 iff both strict sides are infeasible.
+        low = _feasible(constraints + [Constraint(diseq, LT)])
+        if low:
+            continue
+        high = _feasible(constraints + [Constraint(diseq.negate(), LT)])
+        if not high:
+            return False
+    return True
+
+
+def _feasible(constraints):
+    """Fourier-Motzkin feasibility of a system of (in)equalities."""
+    equalities = [c for c in constraints if c.rel == EQ]
+    inequalities = [c for c in constraints if c.rel != EQ]
+
+    # Gaussian elimination on equalities.
+    while equalities:
+        eq = equalities.pop()
+        if eq.expr.is_constant:
+            if eq.expr.constant != 0:
+                return False
+            continue
+        var, coeff = eq.expr.coeffs[0]
+        # var = -(rest) / coeff
+        rest = LinExpr.build(
+            {t: c for t, c in eq.expr.coeffs if t != var}, eq.expr.constant
+        )
+        replacement = rest.scale(Fraction(-1) / coeff)
+        equalities = [
+            Constraint(_substitute(e.expr, var, replacement), EQ) for e in equalities
+        ]
+        inequalities = [
+            Constraint(_substitute(i.expr, var, replacement), i.rel)
+            for i in inequalities
+        ]
+
+    # Re-tighten after substitution (it may have changed integrality).
+    inequalities = [c.tightened() for c in inequalities]
+    return _fm(inequalities)
+
+
+def _fm(inequalities):
+    """Fourier-Motzkin elimination over pure inequalities."""
+    pending = list(inequalities)
+    while True:
+        constants = [c for c in pending if c.expr.is_constant]
+        for c in constants:
+            if not _check_constant(c):
+                return False
+        pending = _dedupe([c for c in pending if not c.expr.is_constant])
+        if not pending:
+            return True
+        var = _pick_variable(pending)
+        lowers, uppers, others = [], [], []
+        for c in pending:
+            coeff = dict(c.expr.coeffs).get(var, Fraction(0))
+            if coeff == 0:
+                others.append(c)
+            elif coeff > 0:
+                uppers.append((c, coeff))  # coeff*var + rest rel 0 -> upper bound
+            else:
+                lowers.append((c, coeff))
+        combined = []
+        for up_c, up_coeff in uppers:
+            for low_c, low_coeff in lowers:
+                # up: var <= -rest_up/up_coeff ; low: var >= -rest_low/low_coeff
+                expr = up_c.expr.scale(-low_coeff).add(low_c.expr.scale(up_coeff))
+                rel = LT if (up_c.rel == LT or low_c.rel == LT) else LE
+                combined.append(Constraint(expr, rel).tightened())
+        pending = others + combined
+
+
+def _pick_variable(constraints):
+    """Choose the variable whose elimination creates the fewest constraints."""
+    occur = {}
+    for c in constraints:
+        for t, coeff in c.expr.coeffs:
+            pos, negc = occur.get(t, (0, 0))
+            if coeff > 0:
+                occur[t] = (pos + 1, negc)
+            else:
+                occur[t] = (pos, negc + 1)
+    return min(occur, key=lambda t: occur[t][0] * occur[t][1])
+
+
+def _dedupe(constraints):
+    seen = set()
+    out = []
+    for c in constraints:
+        key = (c.rel, c.expr.coeffs, c.expr.constant)
+        if key not in seen:
+            seen.add(key)
+            out.append(c)
+    return out

@@ -1,0 +1,139 @@
+"""A small DPLL SAT solver over CNF clauses.
+
+Clauses are lists of non-zero integers; a positive integer ``v`` is the
+variable ``v``, a negative integer its negation (DIMACS convention).  The
+solver supports incremental clause addition, which the lazy SMT loop uses to
+add theory conflict clauses between calls.
+
+DPLL with unit propagation and a most-occurring-variable branching rule is
+entirely adequate here: propositional abstractions of SQL predicates have a
+few dozen variables at most.
+"""
+
+from __future__ import annotations
+
+
+class SatSolver:
+    """Incremental DPLL solver."""
+
+    def __init__(self):
+        self._clauses = []
+        self._num_vars = 0
+
+    @property
+    def num_vars(self):
+        return self._num_vars
+
+    def new_var(self):
+        self._num_vars += 1
+        return self._num_vars
+
+    def ensure_vars(self, count):
+        self._num_vars = max(self._num_vars, count)
+
+    def add_clause(self, literals):
+        """Add a clause; an empty clause makes the instance trivially UNSAT."""
+        clause = sorted(set(literals), key=abs)
+        for lit in clause:
+            self.ensure_vars(abs(lit))
+        # A clause containing both v and -v is a tautology.
+        for i in range(len(clause) - 1):
+            if clause[i] == -clause[i + 1]:
+                return
+        self._clauses.append(clause)
+
+    def solve(self, assumptions=()):
+        """Return a model as {var: bool}, or None if unsatisfiable."""
+        assignment = {}
+        for lit in assumptions:
+            var, value = abs(lit), lit > 0
+            if assignment.get(var, value) != value:
+                return None
+            assignment[var] = value
+        result = self._dpll(assignment)
+        if result is None:
+            return None
+        # Unconstrained variables default to False.
+        for var in range(1, self._num_vars + 1):
+            result.setdefault(var, False)
+        return result
+
+    def _dpll(self, assignment):
+        assignment = dict(assignment)
+        while True:
+            status, unit_lits = self._propagate(assignment)
+            if status == "conflict":
+                return None
+            if not unit_lits:
+                break
+            for lit in unit_lits:
+                assignment[abs(lit)] = lit > 0
+        branch_var = self._pick_branch(assignment)
+        if branch_var is None:
+            return assignment
+        for value in (True, False):
+            trial = dict(assignment)
+            trial[branch_var] = value
+            result = self._dpll(trial)
+            if result is not None:
+                return result
+        return None
+
+    def _propagate(self, assignment):
+        units = []
+        for clause in self._clauses:
+            unassigned = None
+            satisfied = False
+            count_unassigned = 0
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    unassigned = lit
+                    count_unassigned += 1
+            if satisfied:
+                continue
+            if count_unassigned == 0:
+                return "conflict", []
+            if count_unassigned == 1:
+                units.append(unassigned)
+        # Deduplicate; conflicting units become a conflict.
+        chosen = {}
+        for lit in units:
+            var = abs(lit)
+            if var in chosen and chosen[var] != (lit > 0):
+                return "conflict", []
+            chosen[var] = lit > 0
+        return "ok", [v if val else -v for v, val in chosen.items()]
+
+    def _pick_branch(self, assignment):
+        counts = {}
+        for clause in self._clauses:
+            satisfied = any(
+                abs(lit) in assignment and assignment[abs(lit)] == (lit > 0)
+                for lit in clause
+            )
+            if satisfied:
+                continue
+            for lit in clause:
+                var = abs(lit)
+                if var not in assignment:
+                    counts[var] = counts.get(var, 0) + 1
+        if counts:
+            return max(counts, key=counts.get)
+        for var in range(1, self._num_vars + 1):
+            if var not in assignment:
+                return None  # all remaining vars unconstrained
+        return None
+
+
+def solve_cnf(clauses, num_vars=0):
+    """One-shot convenience wrapper around :class:`SatSolver`."""
+    solver = SatSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve()

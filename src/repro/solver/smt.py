@@ -1,0 +1,221 @@
+"""Lazy DPLL(T) SMT facade: the paper's three Z3 primitives.
+
+Implements ``IsSatisfiable`` / ``IsUnSatisfiable`` / ``IsEquiv`` (Section 3)
+over quantifier-free SQL predicates, optionally under a *context* -- a set
+of formulas conjoined as background assertions, exactly as the paper's
+subscripted primitives ``IsSatisfiable_C`` etc.
+
+Architecture: the propositional abstraction of the input is Tseitin-encoded
+and handed to the DPLL core; each propositional model is checked against
+the combined theory (linear arithmetic + strings); theory conflicts are
+minimized (deletion-based core shrinking) and fed back as blocking clauses.
+This is complete for the linear-rational fragment and sound-for-UNSAT
+everywhere, which is the guarantee Qr-Hint's correctness requires.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverLimitError
+from repro.logic.formulas import (
+    And,
+    BoolConst,
+    Comparison,
+    Formula,
+    Not,
+    Or,
+    conj,
+    iff,
+    implies,
+    neg,
+)
+from repro.logic.terms import Term
+from repro.solver.atoms import CanonicalLiteral, canonicalize
+from repro.solver.sat import SatSolver
+from repro.solver.theory import check_literals
+from repro.solver.tseitin import CnfBuilder, assert_skeleton
+
+SAT = "sat"
+UNSAT = "unsat"
+
+
+class Solver:
+    """Reusable SMT solver with memoized primitive calls."""
+
+    def __init__(self, max_conflicts=50_000):
+        self.max_conflicts = max_conflicts
+        self._sat_cache = {}
+        self._theory_cache = {}
+        self.stats = {"sat_calls": 0, "theory_calls": 0, "cache_hits": 0}
+
+    # ------------------------------------------------------------------
+    # Public primitives
+    # ------------------------------------------------------------------
+
+    def is_satisfiable(self, formula, context=()):
+        """True iff ``context AND formula`` is satisfiable (definitive)."""
+        return self._check(formula, context) == SAT
+
+    def is_unsatisfiable(self, formula, context=()):
+        """True iff ``context AND formula`` is unsatisfiable (definitive)."""
+        return self._check(formula, context) == UNSAT
+
+    def is_valid(self, formula, context=()):
+        """True iff ``formula`` holds in every model of ``context``."""
+        return self.is_unsatisfiable(neg(formula), context)
+
+    def entails(self, antecedent, consequent, context=()):
+        """True iff ``antecedent => consequent`` under ``context``."""
+        return self.is_valid(implies(antecedent, consequent), context)
+
+    def is_equiv(self, left, right, context=()):
+        """Paper primitive ``IsEquiv``: formula or value-expression equality."""
+        if isinstance(left, Term) and isinstance(right, Term):
+            return self.terms_equal(left, right, context)
+        return self.is_valid(iff(left, right), context)
+
+    def terms_equal(self, left, right, context=()):
+        """True iff value expressions are equal in every model of context."""
+        if left == right:
+            return True
+        if left.type.is_numeric != right.type.is_numeric:
+            return False
+        return self.is_unsatisfiable(Comparison("<>", left, right), context)
+
+    def in_bound(self, lower, formula, upper, context=()):
+        """True iff ``lower => formula`` and ``formula => upper``."""
+        return self.entails(lower, formula, context) and self.entails(
+            formula, upper, context
+        )
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+
+    def _check(self, formula, context):
+        key = (formula, tuple(context))
+        if key in self._sat_cache:
+            self.stats["cache_hits"] += 1
+            return self._sat_cache[key]
+        result = self._solve(conj(*context, formula))
+        self._sat_cache[key] = result
+        return result
+
+    def _solve(self, formula):
+        self.stats["sat_calls"] += 1
+        atom_vars = {}  # Atom -> int propositional var
+        builder = CnfBuilder()
+        skeleton = self._abstract(formula, atom_vars, builder)
+        if skeleton is True:
+            return SAT
+        if skeleton is False:
+            return UNSAT
+
+        sat = SatSolver()
+        sat.ensure_vars(builder.num_vars)
+        assert_skeleton(skeleton, builder)
+        for clause in builder.clauses:
+            sat.add_clause(clause)
+        sat.ensure_vars(builder.num_vars)
+
+        var_to_atom = {var: atom for atom, var in atom_vars.items()}
+        for _ in range(self.max_conflicts):
+            model = sat.solve()
+            if model is None:
+                return UNSAT
+            literals = tuple(
+                (var_to_atom[var], model[var])
+                for var in sorted(var_to_atom)
+                if var in model
+            )
+            if self._theory_ok(literals):
+                return SAT
+            core = self._shrink_core(literals)
+            sat.add_clause(
+                [
+                    -(atom_vars[atom]) if positive else atom_vars[atom]
+                    for atom, positive in core
+                ]
+            )
+        raise SolverLimitError("exceeded conflict budget")
+
+    def _theory_ok(self, literals):
+        key = frozenset(literals)
+        if key in self._theory_cache:
+            return self._theory_cache[key]
+        self.stats["theory_calls"] += 1
+        result = check_literals(literals)
+        self._theory_cache[key] = result
+        return result
+
+    def _shrink_core(self, literals):
+        """Deletion-based minimization of an inconsistent literal set."""
+        core = list(literals)
+        if len(core) > 24:  # too costly to shrink; block the full assignment
+            return core
+        i = 0
+        while i < len(core):
+            candidate = core[:i] + core[i + 1:]
+            if candidate and not self._theory_ok(tuple(candidate)):
+                core = candidate
+            else:
+                i += 1
+        return core
+
+    def _abstract(self, formula, atom_vars, builder):
+        """Build a Tseitin skeleton, abstracting atoms to variables.
+
+        Returns the skeleton, or a bool if the formula is constant.
+        """
+        if isinstance(formula, BoolConst):
+            return formula.value
+        if isinstance(formula, Comparison):
+            canonical = canonicalize(formula)
+            if isinstance(canonical, bool):
+                return canonical
+            assert isinstance(canonical, CanonicalLiteral)
+            var = atom_vars.get(canonical.atom)
+            if var is None:
+                var = builder.new_var()
+                atom_vars[canonical.atom] = var
+            return ("lit", var if canonical.positive else -var)
+        if isinstance(formula, Not):
+            child = self._abstract(formula.child, atom_vars, builder)
+            if isinstance(child, bool):
+                return not child
+            return ("not", child)
+        if isinstance(formula, (And, Or)):
+            is_and = isinstance(formula, And)
+            children = []
+            for operand in formula.operands:
+                child = self._abstract(operand, atom_vars, builder)
+                if isinstance(child, bool):
+                    if child != is_and:
+                        return child  # short-circuit
+                    continue
+                children.append(child)
+            if not children:
+                return is_and
+            if len(children) == 1:
+                return children[0]
+            return ("and" if is_and else "or", children)
+        raise TypeError(f"not a formula: {formula!r}")
+
+
+_DEFAULT_SOLVER = Solver()
+
+
+def default_solver():
+    """Process-wide shared solver (shares caches across the pipeline)."""
+    return _DEFAULT_SOLVER
+
+
+def is_satisfiable(formula, context=()):
+    return default_solver().is_satisfiable(formula, context)
+
+
+def is_unsatisfiable(formula, context=()):
+    return default_solver().is_unsatisfiable(formula, context)
+
+
+def is_equiv(left, right, context=()):
+    return default_solver().is_equiv(left, right, context)

@@ -1,0 +1,108 @@
+"""Equality + LIKE theory for string-typed terms.
+
+Implements a union-find over string terms with constant propagation:
+equalities merge classes, disequalities and LIKE atoms are checked against
+class representatives.  Sound for UNSAT; may report SAT for exotic LIKE
+combinations it cannot refute (acceptable -- see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.logic.evaluate import sql_like
+from repro.logic.terms import Const
+
+
+class UnionFind:
+    """Classic union-find keyed by hashable items."""
+
+    def __init__(self):
+        self._parent = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def same(self, a, b):
+        return self.find(a) == self.find(b)
+
+
+def _pattern_matches_everything(pattern):
+    return pattern != "" and all(ch == "%" for ch in pattern)
+
+
+def _pattern_matches_nothing(pattern):
+    # Every LIKE pattern matches at least one string (replace % by "" and
+    # _ by any character), so no pattern is empty-language.
+    return False
+
+
+def check_strings(equalities, disequalities, likes):
+    """Decide a conjunction of string atoms.
+
+    ``equalities``/``disequalities``: iterables of (term, term) pairs.
+    ``likes``: iterable of (term, pattern_string, positive_bool).
+    Returns True if the conjunction is (believed) satisfiable, False if it
+    is definitely unsatisfiable.
+    """
+    uf = UnionFind()
+    for left, right in equalities:
+        uf.union(left, right)
+
+    # Wildcard-free LIKE is just equality with a constant.
+    residual_likes = []
+    for term, pattern, positive in likes:
+        if positive and "%" not in pattern and "_" not in pattern:
+            uf.union(term, Const.of(pattern))
+        else:
+            residual_likes.append((term, pattern, positive))
+
+    # Each class may contain at most one distinct constant value.
+    class_const = {}
+    for item in list(uf._parent):
+        if isinstance(item, Const):
+            root = uf.find(item)
+            if root in class_const and class_const[root].value != item.value:
+                return False
+            class_const.setdefault(root, item)
+
+    for left, right in disequalities:
+        if uf.same(left, right):
+            return False
+        lc = class_const.get(uf.find(left))
+        rc = class_const.get(uf.find(right))
+        if lc is not None and rc is not None and lc.value == rc.value:
+            return False
+
+    positive_patterns = {}
+    for term, pattern, positive in residual_likes:
+        root = uf.find(term)
+        const = class_const.get(root)
+        if const is not None:
+            if sql_like(const.value, pattern) != positive:
+                return False
+            continue
+        if positive:
+            if _pattern_matches_nothing(pattern):
+                return False
+            positive_patterns.setdefault(root, []).append(pattern)
+        else:
+            if _pattern_matches_everything(pattern):
+                return False
+
+    # Conflicting positive patterns on the same class: only the cheap check
+    # of identical-prefix/suffix wildcard-free fragments is attempted; when
+    # unsure we report SAT (sound for Qr-Hint's usage).
+    for patterns in positive_patterns.values():
+        literal_full = [p for p in patterns if "%" not in p and "_" not in p]
+        if len(set(literal_full)) > 1:
+            return False
+    return True

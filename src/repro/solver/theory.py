@@ -1,0 +1,64 @@
+"""Theory consistency checking for conjunctions of canonical literals.
+
+The lazy SMT loop hands this module a full truth assignment over the
+canonical atoms; we dispatch the numeric literals to the Fourier-Motzkin
+solver and the string literals to the union-find/LIKE solver.  Opaque atoms
+are unconstrained and always consistent.
+"""
+
+from __future__ import annotations
+
+from repro.solver import arith, strings
+from repro.solver.arith import Constraint, EQ, LE, LT
+
+
+def check_literals(literals):
+    """Return True iff the conjunction of (Atom, positive) pairs is SAT."""
+    polarity_seen = {}
+    for atom, positive in literals:
+        if polarity_seen.setdefault(atom, positive) != positive:
+            return False  # the same atom asserted both ways
+
+    numeric_constraints = []
+    numeric_disequalities = []
+    string_equalities = []
+    string_disequalities = []
+    string_likes = []
+
+    for atom, positive in literals:
+        kind = atom.kind
+        if kind == "num_le":
+            expr = atom.payload
+            if positive:
+                numeric_constraints.append(Constraint(expr, LE))
+            else:
+                numeric_constraints.append(Constraint(expr.negate(), LT))
+        elif kind == "num_eq":
+            expr = atom.payload
+            if positive:
+                numeric_constraints.append(Constraint(expr, EQ))
+            else:
+                numeric_disequalities.append(expr)
+        elif kind == "str_eq":
+            pair = atom.payload
+            if positive:
+                string_equalities.append(pair)
+            else:
+                string_disequalities.append(pair)
+        elif kind == "str_like":
+            term, pattern = atom.payload
+            string_likes.append((term, pattern, positive))
+        elif kind == "opaque":
+            continue
+        else:
+            raise ValueError(f"unknown atom kind {kind!r}")
+
+    if numeric_constraints or numeric_disequalities:
+        if not arith.is_satisfiable(numeric_constraints, numeric_disequalities):
+            return False
+    if string_equalities or string_disequalities or string_likes:
+        if not strings.check_strings(
+            string_equalities, string_disequalities, string_likes
+        ):
+            return False
+    return True

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, AST, and name resolution."""
+
+from repro.sqlparser.parser import parse
+from repro.sqlparser.resolver import parse_query, resolve
+
+__all__ = ["parse", "parse_query", "resolve"]

@@ -1,0 +1,114 @@
+"""SQL tokenizer for the supported single-block fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AND",
+    "OR",
+    "NOT",
+    "LIKE",
+    "AS",
+    "TRUE",
+    "FALSE",
+    "ORDER",
+    "ASC",
+    "DESC",
+}
+
+OPERATORS = ["<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "keyword" | "ident" | "number" | "string" | "op" | "eof"
+    value: str
+    position: int
+
+    def is_keyword(self, *names):
+        return self.kind == "keyword" and self.value in names
+
+    def is_op(self, *ops):
+        return self.kind == "op" and self.value in ops
+
+
+def tokenize(text):
+    """Tokenize SQL text into a list of :class:`Token` (ending with EOF)."""
+    tokens = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":  # line comment
+            newline = text.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks = []
+            while True:
+                if j >= length:
+                    raise ParseError("unterminated string literal", i)
+                if text[j] == "'":
+                    if text[j : j + 2] == "''":  # escaped quote
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < length and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit terminates the number
+                    if j + 1 >= length or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", "<>" if op == "!=" else op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            if ch == ";":
+                i += 1  # statement terminator: ignore
+                continue
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", length))
+    return tokens

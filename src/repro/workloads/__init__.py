@@ -1,0 +1,5 @@
+"""Benchmark and evaluation workloads (Students+, TPC-H, DBLP study)."""
+
+from repro.workloads import beers, brass, dblp, inject, tpch, userstudy
+
+__all__ = ["beers", "brass", "dblp", "inject", "tpch", "userstudy"]

@@ -1,0 +1,467 @@
+"""The beers/bars classroom workload (paper Example 1 and Table 4).
+
+The paper's ``Students`` dataset (341 real queries, IRB-gated) publishes its
+per-question error statistics in Table 4; this module regenerates a
+synthetic dataset with the same questions, the same error taxonomy, and the
+same per-category counts (306 supported wrong queries), so coverage numbers
+measure the same population of mistakes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog import Catalog
+
+
+def catalog():
+    """Schema of the drinkers/bars database (keys per Example 1)."""
+    return Catalog.from_spec(
+        {
+            "Drinker": [("name", "STRING"), ("address", "STRING")],
+            "Bar": [("name", "STRING"), ("address", "STRING")],
+            "Likes": [("drinker", "STRING"), ("beer", "STRING")],
+            "Frequents": [
+                ("drinker", "STRING"),
+                ("bar", "STRING"),
+                ("times_a_week", "INT"),
+            ],
+            "Serves": [("bar", "STRING"), ("beer", "STRING"), ("price", "FLOAT")],
+        }
+    )
+
+
+QUESTION_A = "Find the names of all beers served at James Joyce Pub."
+SOLUTION_A = "SELECT beer FROM Serves WHERE bar = 'James Joyce Pub'"
+
+QUESTION_B = (
+    "Find names and addresses of bars that serve Budweiser at a price "
+    "higher than 2.20."
+)
+SOLUTION_B = (
+    "SELECT name, address FROM Bar, Serves "
+    "WHERE Bar.name = Serves.bar AND beer = 'Budweiser' AND price > 2.20"
+)
+
+QUESTION_C = (
+    "Find the names of drinkers who like Corona and frequent James Joyce "
+    "Pub at least twice a week."
+)
+SOLUTION_C = (
+    "SELECT likes.drinker FROM Likes, Frequents "
+    "WHERE likes.beer = 'Corona' AND likes.drinker = frequents.drinker "
+    "AND frequents.bar = 'James Joyce Pub' AND frequents.times_a_week >= 2"
+)
+
+QUESTION_D = "Find the name of each drinker who likes at least two beers."
+SOLUTION_D1 = (
+    "SELECT drinker FROM Likes GROUP BY drinker HAVING COUNT(*) >= 2"
+)
+SOLUTION_D2 = (
+    "SELECT DISTINCT l1.drinker FROM Likes l1, Likes l2 "
+    "WHERE l1.drinker = l2.drinker AND l1.beer <> l2.beer"
+)
+
+
+@dataclass(frozen=True)
+class StudentQuery:
+    """One synthesized wrong query with its ground-truth metadata."""
+
+    question: str  # "a" | "b" | "c" | "d1" | "d2"
+    target_sql: str
+    wrong_sql: str
+    clause: str  # FROM | WHERE | GROUP BY | HAVING | SELECT
+    category: str  # short error-category label from Table 4
+
+
+# --- per-question mutation pools, mirroring Table 4 ----------------------
+
+_BAR_TYPOS = [
+    "James Joyce", "james joyce pub", "James Joice Pub", "Joyce Pub",
+    "The James Joyce Pub", "JamesJoycePub", "James  Joyce Pub",
+]
+_BEER_TYPOS = ["Budweisser", "budweiser", "Bud", "Budweiser Light"]
+
+
+def _variants_a():
+    wrong = []
+    # FROM errors (8): wrong table / extra cross-joined table.
+    for extra in ["Bar", "Likes", "Frequents", "Drinker"]:
+        wrong.append(
+            (
+                f"SELECT Serves.beer FROM Serves, {extra} "
+                "WHERE Serves.bar = 'James Joyce Pub'",
+                "FROM",
+                "extra table (cross join)",
+            )
+        )
+    for _ in range(2):
+        wrong.append(
+            (
+                "SELECT beer FROM Likes, Frequents WHERE bar = 'James Joyce Pub'",
+                "FROM",
+                "wrong table",
+            )
+        )
+    wrong.append(
+        (
+            "SELECT beer FROM Likes WHERE drinker = 'James Joyce Pub'",
+            "FROM",
+            "wrong table",
+        )
+    )
+    wrong.append(
+        (
+            "SELECT Serves.beer FROM Serves, Serves s2 "
+            "WHERE Serves.bar = 'James Joyce Pub'",
+            "FROM",
+            "extra table (cross join)",
+        )
+    )
+    # WHERE errors (9): wrong bar name or typo.
+    for typo in _BAR_TYPOS[:7]:
+        wrong.append(
+            (
+                f"SELECT beer FROM Serves WHERE bar = '{typo}'",
+                "WHERE",
+                "wrong constant",
+            )
+        )
+    wrong.append(
+        (
+            "SELECT beer FROM Serves WHERE bar LIKE 'James%'",
+            "WHERE",
+            "wrong constant",
+        )
+    )
+    wrong.append(
+        (
+            "SELECT beer FROM Serves WHERE bar <> 'James Joyce Pub'",
+            "WHERE",
+            "wrong operator",
+        )
+    )
+    # SELECT errors (5): wrong column instead of beer.
+    for col in ["bar", "price"]:
+        wrong.append(
+            (
+                f"SELECT {col} FROM Serves WHERE bar = 'James Joyce Pub'",
+                "SELECT",
+                "wrong column",
+            )
+        )
+    wrong.append(
+        (
+            "SELECT bar, beer FROM Serves WHERE bar = 'James Joyce Pub'",
+            "SELECT",
+            "extra column",
+        )
+    )
+    wrong.append(
+        (
+            "SELECT beer, price FROM Serves WHERE bar = 'James Joyce Pub'",
+            "SELECT",
+            "extra column",
+        )
+    )
+    wrong.append(
+        (
+            "SELECT bar FROM Serves WHERE bar = 'James Joyce Pub'",
+            "SELECT",
+            "wrong column",
+        )
+    )
+    return [("a", SOLUTION_A, sql, clause, cat) for sql, clause, cat in wrong]
+
+
+def _variants_b():
+    wrong = []
+    # FROM errors (10): missing Bar or Serves.
+    for _ in range(5):
+        wrong.append(
+            (
+                "SELECT bar, bar FROM Serves WHERE beer = 'Budweiser' AND price > 2.20",
+                "FROM",
+                "missing table",
+            )
+        )
+    for _ in range(5):
+        wrong.append(
+            (
+                "SELECT name, address FROM Bar WHERE name = 'Budweiser'",
+                "FROM",
+                "missing table",
+            )
+        )
+    # WHERE errors (96): missing join condition / >= instead of >.
+    for _ in range(48):
+        wrong.append(
+            (
+                "SELECT name, address FROM Bar, Serves "
+                "WHERE beer = 'Budweiser' AND price > 2.20",
+                "WHERE",
+                "missing join condition",
+            )
+        )
+    for _ in range(30):
+        wrong.append(
+            (
+                "SELECT name, address FROM Bar, Serves "
+                "WHERE Bar.name = Serves.bar AND beer = 'Budweiser' AND price >= 2.20",
+                "WHERE",
+                "wrong operator",
+            )
+        )
+    for typo in _BEER_TYPOS * 3:
+        wrong.append(
+            (
+                "SELECT name, address FROM Bar, Serves "
+                f"WHERE Bar.name = Serves.bar AND beer = '{typo}' AND price > 2.20",
+                "WHERE",
+                "wrong constant",
+            )
+        )
+    for _ in range(6):
+        wrong.append(
+            (
+                "SELECT name, address FROM Bar, Serves "
+                "WHERE Bar.name = Serves.bar AND beer = 'Budweiser' AND price < 2.20",
+                "WHERE",
+                "wrong operator",
+            )
+        )
+    # SELECT errors (17): missing columns / wrong order.
+    for _ in range(9):
+        wrong.append(
+            (
+                "SELECT name FROM Bar, Serves "
+                "WHERE Bar.name = Serves.bar AND beer = 'Budweiser' AND price > 2.20",
+                "SELECT",
+                "missing column",
+            )
+        )
+    for _ in range(8):
+        wrong.append(
+            (
+                "SELECT address, name FROM Bar, Serves "
+                "WHERE Bar.name = Serves.bar AND beer = 'Budweiser' AND price > 2.20",
+                "SELECT",
+                "wrong column order",
+            )
+        )
+    return [("b", SOLUTION_B, sql, clause, cat) for sql, clause, cat in wrong]
+
+
+def _variants_c():
+    wrong = []
+    base_where = (
+        "likes.beer = 'Corona' AND likes.drinker = frequents.drinker "
+        "AND frequents.bar = 'James Joyce Pub' AND frequents.times_a_week >= 2"
+    )
+    # FROM errors (11): wrong table (Serves) / unnecessary Drinker table.
+    for _ in range(6):
+        wrong.append(
+            (
+                "SELECT likes.drinker FROM Likes, Serves "
+                "WHERE likes.beer = 'Corona' AND serves.bar = 'James Joyce Pub'",
+                "FROM",
+                "wrong table",
+            )
+        )
+    for _ in range(5):
+        wrong.append(
+            (
+                "SELECT likes.drinker FROM Likes, Frequents, Drinker "
+                f"WHERE {base_where}",
+                "FROM",
+                "extra table (cross join)",
+            )
+        )
+    # WHERE errors (105): missing join / > instead of >= / missing condition.
+    for _ in range(45):
+        wrong.append(
+            (
+                "SELECT likes.drinker FROM Likes, Frequents "
+                "WHERE likes.beer = 'Corona' AND frequents.bar = 'James Joyce Pub' "
+                "AND frequents.times_a_week >= 2",
+                "WHERE",
+                "missing join condition",
+            )
+        )
+    for _ in range(30):
+        wrong.append(
+            (
+                "SELECT likes.drinker FROM Likes, Frequents "
+                "WHERE likes.beer = 'Corona' AND likes.drinker = frequents.drinker "
+                "AND frequents.bar = 'James Joyce Pub' AND frequents.times_a_week > 2",
+                "WHERE",
+                "wrong operator",
+            )
+        )
+    for _ in range(20):
+        wrong.append(
+            (
+                "SELECT likes.drinker FROM Likes, Frequents "
+                "WHERE likes.beer = 'Corona' AND likes.drinker = frequents.drinker "
+                "AND frequents.times_a_week >= 2",
+                "WHERE",
+                "missing condition",
+            )
+        )
+    for _ in range(10):
+        wrong.append(
+            (
+                "SELECT likes.drinker FROM Likes, Frequents "
+                "WHERE likes.beer = 'Corona' AND likes.drinker = frequents.drinker "
+                "AND frequents.bar = 'James Joyce Pub' AND frequents.times_a_week = 2",
+                "WHERE",
+                "wrong operator",
+            )
+        )
+    # SELECT errors (6): wrong column.
+    for _ in range(6):
+        wrong.append(
+            (
+                f"SELECT likes.beer FROM Likes, Frequents WHERE {base_where}",
+                "SELECT",
+                "wrong column",
+            )
+        )
+    # GROUP BY error (1).
+    wrong.append(
+        (
+            "SELECT likes.drinker FROM Likes, Frequents "
+            f"WHERE {base_where} GROUP BY likes.drinker, likes.beer",
+            "GROUP BY",
+            "grouping by wrong columns",
+        )
+    )
+    return [("c", SOLUTION_C, sql, clause, cat) for sql, clause, cat in wrong]
+
+
+def _variants_d():
+    wrong = []
+    # Solution 1 style (aggregate).  FROM (1), GROUP BY (1), HAVING (18),
+    # SELECT (4).
+    wrong.append(
+        (
+            "d1",
+            "SELECT drinker FROM Frequents GROUP BY drinker HAVING COUNT(*) >= 2",
+            "FROM",
+            "wrong table",
+        )
+    )
+    wrong.append(
+        (
+            "d1",
+            "SELECT drinker FROM Likes GROUP BY drinker, beer HAVING COUNT(*) >= 2",
+            "GROUP BY",
+            "grouping by wrong columns",
+        )
+    )
+    for _ in range(12):
+        wrong.append(
+            (
+                "d1",
+                "SELECT drinker FROM Likes GROUP BY drinker HAVING COUNT(*) > 2",
+                "HAVING",
+                "wrong operator",
+            )
+        )
+    for _ in range(6):
+        wrong.append(
+            (
+                "d1",
+                "SELECT drinker FROM Likes GROUP BY drinker HAVING COUNT(*) >= 1",
+                "HAVING",
+                "wrong constant",
+            )
+        )
+    for _ in range(4):
+        wrong.append(
+            (
+                "d1",
+                "SELECT drinker, COUNT(*) FROM Likes GROUP BY drinker "
+                "HAVING COUNT(*) >= 2",
+                "SELECT",
+                "extra column",
+            )
+        )
+    # Solution 2 style (self join).  FROM (5), WHERE (2), SELECT (7).
+    for _ in range(3):
+        wrong.append(
+            (
+                "d2",
+                "SELECT DISTINCT l1.drinker FROM Likes l1, Likes l2, Frequents "
+                "WHERE l1.drinker = l2.drinker AND l1.beer <> l2.beer",
+                "FROM",
+                "extra table (cross join)",
+            )
+        )
+    for _ in range(2):
+        wrong.append(
+            (
+                "d2",
+                "SELECT DISTINCT l1.drinker FROM Likes l1 "
+                "WHERE l1.drinker = l1.drinker",
+                "FROM",
+                "missing table",
+            )
+        )
+    wrong.append(
+        (
+            "d2",
+            "SELECT DISTINCT l1.drinker FROM Likes l1, Likes l2 "
+            "WHERE l1.drinker = l2.drinker AND l1.beer = l2.beer",
+            "WHERE",
+            "wrong operator",
+        )
+    )
+    wrong.append(
+        (
+            "d2",
+            "SELECT DISTINCT l1.drinker FROM Likes l1, Likes l2 "
+            "WHERE l1.drinker <> l2.drinker AND l1.beer <> l2.beer",
+            "WHERE",
+            "wrong operator",
+        )
+    )
+    for _ in range(7):
+        wrong.append(
+            (
+                "d2",
+                "SELECT l1.drinker FROM Likes l1, Likes l2 "
+                "WHERE l1.drinker = l2.drinker AND l1.beer <> l2.beer",
+                "SELECT",
+                "missing DISTINCT",
+            )
+        )
+    solutions = {"d1": SOLUTION_D1, "d2": SOLUTION_D2}
+    return [(q, solutions[q], sql, clause, cat) for q, sql, clause, cat in wrong]
+
+
+def students_dataset(seed=0):
+    """The synthesized ``Students`` dataset: 306 supported wrong queries.
+
+    The per-question / per-clause counts match Table 4 of the paper
+    (restricted to the queries Qr-Hint supports).  Deterministic given the
+    seed (which only shuffles presentation order).
+    """
+    entries = []
+    for question, target, wrong, clause, category in (
+        _variants_a() + _variants_b() + _variants_c() + _variants_d()
+    ):
+        entries.append(StudentQuery(question, target, wrong, clause, category))
+    rng = random.Random(seed)
+    rng.shuffle(entries)
+    return entries
+
+
+QUESTIONS = {
+    "a": (QUESTION_A, SOLUTION_A),
+    "b": (QUESTION_B, SOLUTION_B),
+    "c": (QUESTION_C, SOLUTION_C),
+    "d1": (QUESTION_D, SOLUTION_D1),
+    "d2": (QUESTION_D, SOLUTION_D2),
+}

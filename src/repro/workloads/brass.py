@@ -1,0 +1,248 @@
+"""The Brass & Goldberg semantic-error catalog (Table 5 of the paper).
+
+Brass et al. (2006) list 43 SQL issues indicative of semantic errors.  The
+paper classifies them into: 25 supported by Qr-Hint -- 11 genuine logical
+errors (correctly hinted), 3 stylistic issues on semantically correct
+queries (correctly not flagged), 11 stylistic issues where Qr-Hint fails to
+detect equivalence and suggests (correct but unnecessary) fixes -- plus 18
+issues involving unsupported SQL features.
+
+This module encodes that classification together with runnable example
+pairs on the beers schema for the ``Students+`` extension (the paper
+handcrafts two queries per not-already-covered issue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Expected Qr-Hint handling classes (Section 9.1):
+LOGICAL = "logical-error"  # real error; Qr-Hint hints a fix
+STYLE_OK = "style-correct"  # stylistic; Qr-Hint correctly stays silent
+STYLE_FLAG = "style-flagged"  # stylistic; Qr-Hint flags an unnecessary fix
+UNSUPPORTED = "unsupported"  # outside the supported SQL fragment
+
+
+@dataclass(frozen=True)
+class BrassIssue:
+    """One catalogued issue with an optional runnable example pair."""
+
+    number: int
+    description: str
+    handling: str  # LOGICAL | STYLE_OK | STYLE_FLAG | UNSUPPORTED
+    in_students: bool = False  # already represented in the Students data
+    frequency: float | None = None  # share reported by Brass et al.
+    # Example pair (working, reference); None when inexpressible here.
+    working_sql: str | None = None
+    reference_sql: str | None = None
+
+    @property
+    def supported(self):
+        return self.handling != UNSUPPORTED
+
+
+_REF_C = (
+    "SELECT likes.drinker FROM Likes, Frequents "
+    "WHERE likes.beer = 'Corona' AND likes.drinker = frequents.drinker "
+    "AND frequents.bar = 'James Joyce Pub' AND frequents.times_a_week >= 2"
+)
+
+ISSUES = [
+    BrassIssue(
+        1, "Inconsistent condition", LOGICAL, True, 0.114,
+        "SELECT beer FROM Serves WHERE price > 3 AND price < 2",
+        "SELECT beer FROM Serves WHERE price > 3",
+    ),
+    BrassIssue(
+        2, "Unnecessary DISTINCT", STYLE_FLAG, True, 0.037,
+        "SELECT DISTINCT drinker, beer FROM Likes",
+        "SELECT drinker, beer FROM Likes",
+    ),
+    BrassIssue(
+        3, "Constant output columns", LOGICAL, True, 0.032,
+        "SELECT drinker, 'Corona' FROM Likes",
+        "SELECT drinker, beer FROM Likes",
+    ),
+    BrassIssue(
+        4, "Duplicate output columns", LOGICAL, True, None,
+        "SELECT drinker, drinker FROM Likes",
+        "SELECT drinker, beer FROM Likes",
+    ),
+    BrassIssue(
+        5, "Unused tuple variables", LOGICAL, True, 0.056,
+        "SELECT beer FROM Serves, Bar WHERE Serves.bar = 'James Joyce Pub'",
+        "SELECT beer FROM Serves WHERE Serves.bar = 'James Joyce Pub'",
+    ),
+    BrassIssue(
+        6, "Unnecessary join", STYLE_FLAG, True, 0.084,
+        "SELECT Serves.beer FROM Serves, Bar "
+        "WHERE Serves.bar = Bar.name AND Serves.price > 3",
+        "SELECT beer FROM Serves WHERE price > 3",
+    ),
+    BrassIssue(
+        7, "Tuple variables are always identical", STYLE_FLAG, False, 0.032,
+        "SELECT l1.drinker FROM Likes l1, Likes l2 "
+        "WHERE l1.drinker = l2.drinker AND l1.beer = l2.beer",
+        "SELECT drinker FROM Likes",
+    ),
+    BrassIssue(
+        8, "Implied, tautological, or inconsistent subcondition", STYLE_OK,
+        True, 0.054,
+        "SELECT beer FROM Serves WHERE price >= 2 OR price < 2",
+        "SELECT beer FROM Serves",
+    ),
+    BrassIssue(9, "Comparison with NULL", UNSUPPORTED),
+    BrassIssue(10, "NULL value in IN/ANY/ALL subquery", UNSUPPORTED),
+    BrassIssue(11, "Unnecessarily general comparison operator", UNSUPPORTED),
+    BrassIssue(
+        12, "LIKE without wildcard", LOGICAL, False, None,
+        "SELECT beer FROM Serves WHERE bar LIKE 'James Joyce'",
+        "SELECT beer FROM Serves WHERE bar = 'James Joyce Pub'",
+    ),
+    BrassIssue(13, "Unnecessarily complicated SELECT in EXISTS-subquery",
+               UNSUPPORTED),
+    BrassIssue(14, "IN/EXISTS condition can be replaced by comparison",
+               UNSUPPORTED),
+    BrassIssue(
+        15, "Unnecessary aggregation function", STYLE_FLAG, False, None,
+        "SELECT drinker, MAX(beer) FROM Likes GROUP BY drinker, beer",
+        "SELECT drinker, beer FROM Likes",
+    ),
+    BrassIssue(
+        16, "Unnecessary DISTINCT in aggregation function", STYLE_FLAG, True,
+        None,
+        "SELECT drinker, COUNT(DISTINCT beer) FROM Likes GROUP BY drinker",
+        "SELECT drinker, COUNT(beer) FROM Likes GROUP BY drinker",
+    ),
+    BrassIssue(
+        17, "Unnecessary argument of COUNT", STYLE_OK, True, None,
+        # Paper: flagged; our COUNT(expr) -> COUNT(*) normalization proves
+        # the equivalence, so no fix is suggested (strictly better).
+        "SELECT drinker, COUNT(beer) FROM Likes GROUP BY drinker",
+        "SELECT drinker, COUNT(*) FROM Likes GROUP BY drinker",
+    ),
+    BrassIssue(18, "Unnecessary GROUP BY in EXISTS subquery", UNSUPPORTED),
+    BrassIssue(
+        19, "GROUP BY with singleton group", STYLE_FLAG, False, 0.044,
+        "SELECT drinker, beer FROM Likes GROUP BY drinker, beer",
+        "SELECT drinker, beer FROM Likes",
+    ),
+    BrassIssue(
+        20, "GROUP BY with only a single group", STYLE_OK, False, None,
+        # Paper: flagged; grouping by a WHERE-pinned constant provably forms
+        # a single group, which FixGrouping detects (strictly better).
+        "SELECT COUNT(*) FROM Serves WHERE bar = 'James Joyce Pub' "
+        "GROUP BY bar",
+        "SELECT COUNT(*) FROM Serves WHERE bar = 'James Joyce Pub'",
+    ),
+    BrassIssue(
+        21, "Unnecessary GROUP BY attribute", STYLE_OK, True, None,
+        "SELECT l1.drinker FROM Likes l1 GROUP BY l1.drinker, l1.drinker "
+        "HAVING COUNT(*) >= 2",
+        "SELECT drinker FROM Likes GROUP BY drinker HAVING COUNT(*) >= 2",
+    ),
+    BrassIssue(
+        22, "GROUP BY can be replaced by DISTINCT", STYLE_FLAG, True, None,
+        "SELECT drinker FROM Likes GROUP BY drinker",
+        "SELECT DISTINCT drinker FROM Likes",
+    ),
+    BrassIssue(23, "UNION can be replaced by OR", UNSUPPORTED),
+    BrassIssue(
+        24, "Unnecessary ORDER BY term", STYLE_FLAG, False, 0.108,
+        None, None,  # ORDER BY is outside our fragment (as it affects no
+        # semantics Qr-Hint checks, the paper treats it as stylistic)
+    ),
+    BrassIssue(
+        25, "Inefficient HAVING", STYLE_OK, True, None,
+        "SELECT bar, COUNT(*) FROM Serves GROUP BY bar "
+        "HAVING bar = 'James Joyce Pub'",
+        "SELECT bar, COUNT(*) FROM Serves WHERE bar = 'James Joyce Pub' "
+        "GROUP BY bar",
+    ),
+    BrassIssue(26, "Inefficient UNION", UNSUPPORTED),
+    BrassIssue(
+        27, "Missing join conditions", LOGICAL, True, 0.213,
+        "SELECT name, address FROM Bar, Serves "
+        "WHERE beer = 'Budweiser' AND price > 2.20",
+        "SELECT name, address FROM Bar, Serves "
+        "WHERE Bar.name = Serves.bar AND beer = 'Budweiser' AND price > 2.20",
+    ),
+    BrassIssue(28, "Uncorrelated EXISTS subquery", UNSUPPORTED),
+    BrassIssue(29, "IN-subquery with only one possible result value",
+               UNSUPPORTED),
+    BrassIssue(30, "Condition in the subquery that can be moved up",
+               UNSUPPORTED),
+    BrassIssue(
+        31, "Comparison between different domains", LOGICAL, True, None,
+        "SELECT drinker FROM Frequents WHERE times_a_week >= 2 "
+        "AND bar = 'James Joyce Pub' AND drinker = bar",
+        "SELECT drinker FROM Frequents WHERE times_a_week >= 2 "
+        "AND bar = 'James Joyce Pub'",
+    ),
+    # Paper: flagged; the COUNT(*) >= 1 context fact proves the HAVING
+    # condition tautological (strictly better).
+    BrassIssue(32, "Strange HAVING", STYLE_OK, False, None,
+               "SELECT bar FROM Serves GROUP BY bar HAVING COUNT(*) >= 0",
+               "SELECT bar FROM Serves GROUP BY bar"),
+    BrassIssue(
+        33, "DISTINCT in SUM and AVG", LOGICAL, False, None,
+        "SELECT bar, SUM(DISTINCT price) FROM Serves GROUP BY bar",
+        "SELECT bar, SUM(price) FROM Serves GROUP BY bar",
+    ),
+    BrassIssue(
+        34, "Wildcards without LIKE", LOGICAL, True, None,
+        "SELECT beer FROM Serves WHERE bar = 'James%'",
+        "SELECT beer FROM Serves WHERE bar LIKE 'James%'",
+    ),
+    BrassIssue(35, "Condition on left table in left outer join", UNSUPPORTED),
+    BrassIssue(36, "Outer join can be replaced by inner join", UNSUPPORTED),
+    BrassIssue(
+        37, "Many duplicates", LOGICAL, True, 0.108,
+        "SELECT likes.drinker FROM Likes, Frequents "
+        "WHERE likes.drinker = frequents.drinker AND likes.beer = 'Corona'",
+        "SELECT DISTINCT likes.drinker FROM Likes, Frequents "
+        "WHERE likes.drinker = frequents.drinker AND likes.beer = 'Corona'",
+    ),
+    BrassIssue(
+        38, "DISTINCT that might remove important duplicates", LOGICAL, True,
+        None,
+        "SELECT DISTINCT bar, beer, price FROM Serves WHERE price < 3",
+        "SELECT bar, beer, price FROM Serves WHERE price < 3",
+    ),
+    BrassIssue(39, "Subquery term that might return more than one tuple",
+               UNSUPPORTED),
+    BrassIssue(40, "SELECT INTO that might return more than one tuple",
+               UNSUPPORTED),
+    BrassIssue(41, "No indicator variable for nullable argument", UNSUPPORTED),
+    BrassIssue(42, "Difficult type conversion", UNSUPPORTED),
+    BrassIssue(43, "Runtime error in datatype function (e.g. divide by 0)",
+               UNSUPPORTED),
+]
+
+
+def supported_issues():
+    return [issue for issue in ISSUES if issue.supported]
+
+
+def unsupported_issues():
+    return [issue for issue in ISSUES if not issue.supported]
+
+
+def issues_by_handling(handling):
+    return [issue for issue in ISSUES if issue.handling == handling]
+
+
+def handcrafted_pairs():
+    """The Students+ extension: two queries per not-in-Students issue.
+
+    Returns (issue, working_sql, reference_sql) triples; issues without an
+    expressible example in this fragment are skipped (documented in
+    EXPERIMENTS.md).
+    """
+    out = []
+    for issue in supported_issues():
+        if issue.in_students or issue.working_sql is None:
+            continue
+        out.append((issue, issue.working_sql, issue.reference_sql))
+        out.append((issue, issue.working_sql, issue.reference_sql))
+    return out

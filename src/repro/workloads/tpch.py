@@ -1,0 +1,197 @@
+"""TPC-H workload for the WHERE-repair stress tests (Section 9, TPCH).
+
+The paper stress-tests ``RepairWhere`` on the WHERE predicates of TPC-H
+queries 4, 3, 10, 9, 5, 8, 21 (conjunctions of 4, 5, 6, 7, 9, 10, 11 atomic
+predicates), a synthetic 8-conjunct query obtained by dropping one
+predicate from Q5, and the nested-AND/OR predicate of Q7.  Only the
+predicates matter (no data is scanned), so this module provides the schema
+and each query's FROM + WHERE.
+
+Substitution note: DATE columns are encoded as INT (days since 1992-01-01),
+which preserves all comparison reasoning; subquery-based conditions are
+flattened into join predicates so atom counts match the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog import Catalog
+from repro.sqlparser import parse_query
+
+
+def catalog():
+    """A TPC-H schema restricted to the columns the predicates touch."""
+    return Catalog.from_spec(
+        {
+            "customer": [
+                ("custkey", "INT"),
+                ("name", "STRING"),
+                ("nationkey", "INT"),
+                ("mktsegment", "STRING"),
+                ("acctbal", "FLOAT"),
+            ],
+            "orders": [
+                ("orderkey", "INT"),
+                ("custkey", "INT"),
+                ("orderstatus", "STRING"),
+                ("totalprice", "FLOAT"),
+                ("orderdate", "INT"),
+                ("orderpriority", "STRING"),
+            ],
+            "lineitem": [
+                ("orderkey", "INT"),
+                ("partkey", "INT"),
+                ("suppkey", "INT"),
+                ("linenumber", "INT"),
+                ("quantity", "FLOAT"),
+                ("extendedprice", "FLOAT"),
+                ("discount", "FLOAT"),
+                ("returnflag", "STRING"),
+                ("shipdate", "INT"),
+                ("commitdate", "INT"),
+                ("receiptdate", "INT"),
+            ],
+            "supplier": [
+                ("suppkey", "INT"),
+                ("name", "STRING"),
+                ("nationkey", "INT"),
+            ],
+            "nation": [
+                ("nationkey", "INT"),
+                ("name", "STRING"),
+                ("regionkey", "INT"),
+            ],
+            "region": [("regionkey", "INT"), ("name", "STRING")],
+            "part": [
+                ("partkey", "INT"),
+                ("name", "STRING"),
+                ("type", "STRING"),
+                ("size", "INT"),
+            ],
+            "partsupp": [
+                ("partkey", "INT"),
+                ("suppkey", "INT"),
+                ("supplycost", "FLOAT"),
+            ],
+        }
+    )
+
+
+@dataclass(frozen=True)
+class TpchQuery:
+    """One benchmark query: name, atom count, and SQL text."""
+
+    name: str
+    num_atoms: int
+    sql: str
+    nested: bool = False
+
+    def resolve(self, cat=None):
+        return parse_query(self.sql, cat or catalog())
+
+
+# Conjunctive WHERE queries, ordered by atom count (Figure 2's x-axis).
+Q4 = TpchQuery(
+    "Q4", 4,
+    "SELECT o.orderpriority, COUNT(*) FROM orders o, lineitem l "
+    "WHERE l.orderkey = o.orderkey AND o.orderdate >= 9314 "
+    "AND o.orderdate < 9406 AND l.commitdate < l.receiptdate "
+    "GROUP BY o.orderpriority",
+)
+
+Q3 = TpchQuery(
+    "Q3", 5,
+    "SELECT l.orderkey, SUM(l.extendedprice), o.orderdate "
+    "FROM customer c, orders o, lineitem l "
+    "WHERE c.mktsegment = 'BUILDING' AND c.custkey = o.custkey "
+    "AND l.orderkey = o.orderkey AND o.orderdate < 1167 "
+    "AND l.shipdate > 1167 "
+    "GROUP BY l.orderkey, o.orderdate",
+)
+
+Q10 = TpchQuery(
+    "Q10", 6,
+    "SELECT c.custkey, c.name, SUM(l.extendedprice), n.name "
+    "FROM customer c, orders o, lineitem l, nation n "
+    "WHERE c.custkey = o.custkey AND l.orderkey = o.orderkey "
+    "AND o.orderdate >= 731 AND o.orderdate < 821 "
+    "AND l.returnflag = 'R' AND c.nationkey = n.nationkey "
+    "GROUP BY c.custkey, c.name, n.name",
+)
+
+Q9 = TpchQuery(
+    "Q9", 7,
+    "SELECT n.name, o.orderdate, SUM(l.extendedprice) "
+    "FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n "
+    "WHERE s.suppkey = l.suppkey AND ps.suppkey = l.suppkey "
+    "AND ps.partkey = l.partkey AND p.partkey = l.partkey "
+    "AND o.orderkey = l.orderkey AND s.nationkey = n.nationkey "
+    "AND p.name LIKE '%green%' "
+    "GROUP BY n.name, o.orderdate",
+)
+
+Q5_SYNTH = TpchQuery(
+    "Q5-8", 8,
+    "SELECT n.name, SUM(l.extendedprice) "
+    "FROM customer c, orders o, lineitem l, supplier s, nation n, region r "
+    "WHERE c.custkey = o.custkey AND l.orderkey = o.orderkey "
+    "AND l.suppkey = s.suppkey AND c.nationkey = s.nationkey "
+    "AND s.nationkey = n.nationkey AND n.regionkey = r.regionkey "
+    "AND r.name = 'ASIA' AND o.orderdate >= 731 "
+    "GROUP BY n.name",
+)
+
+Q5 = TpchQuery(
+    "Q5", 9,
+    "SELECT n.name, SUM(l.extendedprice) "
+    "FROM customer c, orders o, lineitem l, supplier s, nation n, region r "
+    "WHERE c.custkey = o.custkey AND l.orderkey = o.orderkey "
+    "AND l.suppkey = s.suppkey AND c.nationkey = s.nationkey "
+    "AND s.nationkey = n.nationkey AND n.regionkey = r.regionkey "
+    "AND r.name = 'ASIA' AND o.orderdate >= 731 AND o.orderdate < 1096 "
+    "GROUP BY n.name",
+)
+
+Q8 = TpchQuery(
+    "Q8", 10,
+    "SELECT o.orderdate, SUM(l.extendedprice) "
+    "FROM part p, supplier s, lineitem l, orders o, customer c, "
+    "nation n1, nation n2, region r "
+    "WHERE p.partkey = l.partkey AND s.suppkey = l.suppkey "
+    "AND l.orderkey = o.orderkey AND o.custkey = c.custkey "
+    "AND c.nationkey = n1.nationkey AND n1.regionkey = r.regionkey "
+    "AND r.name = 'AMERICA' AND s.nationkey = n2.nationkey "
+    "AND o.orderdate >= 1096 AND o.orderdate <= 1826 "
+    "GROUP BY o.orderdate",
+)
+
+Q21 = TpchQuery(
+    "Q21", 11,
+    "SELECT s.name, COUNT(*) "
+    "FROM supplier s, lineitem l1, lineitem l2, orders o, nation n "
+    "WHERE s.suppkey = l1.suppkey AND o.orderkey = l1.orderkey "
+    "AND o.orderstatus = 'F' AND l1.receiptdate > l1.commitdate "
+    "AND l2.orderkey = l1.orderkey AND l2.suppkey <> l1.suppkey "
+    "AND s.nationkey = n.nationkey AND n.name = 'SAUDI ARABIA' "
+    "AND l1.quantity > 0 AND l2.quantity > 0 AND l1.linenumber >= 1 "
+    "GROUP BY s.name",
+)
+
+# Q7's WHERE nests AND under OR (Figure 3's workload); 10 unique atoms.
+Q7_NESTED = TpchQuery(
+    "Q7", 10,
+    "SELECT n1.name, n2.name, SUM(l.extendedprice) "
+    "FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2 "
+    "WHERE s.suppkey = l.suppkey AND o.orderkey = l.orderkey "
+    "AND c.custkey = o.custkey AND s.nationkey = n1.nationkey "
+    "AND c.nationkey = n2.nationkey "
+    "AND ((n1.name = 'FRANCE' AND n2.name = 'GERMANY') "
+    "OR (n1.name = 'GERMANY' AND n2.name = 'FRANCE')) "
+    "AND l.shipdate >= 1096 "
+    "GROUP BY n1.name, n2.name",
+    nested=True,
+)
+
+CONJUNCTIVE_QUERIES = [Q4, Q3, Q10, Q9, Q5_SYNTH, Q5, Q8, Q21]
+ALL_QUERIES = CONJUNCTIVE_QUERIES + [Q7_NESTED]

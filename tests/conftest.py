@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.solver import Solver
+from repro.workloads import beers, dblp, tpch
+
+
+@pytest.fixture(scope="session")
+def solver():
+    """A session-wide solver; caches accumulate across tests."""
+    return Solver()
+
+
+@pytest.fixture(scope="session")
+def beers_catalog():
+    return beers.catalog()
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog():
+    return tpch.catalog()
+
+
+@pytest.fixture(scope="session")
+def dblp_catalog():
+    return dblp.catalog()
+
+
+@pytest.fixture()
+def rs_catalog():
+    """The R(A,B) / S(C,D) integer schema used by paper Examples 6.1/10."""
+    return Catalog.from_spec(
+        {
+            "R": [("a", "INT"), ("b", "INT")],
+            "S": [("c", "INT"), ("d", "INT")],
+        }
+    )

@@ -1,0 +1,68 @@
+"""Tests for repro.catalog."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, SqlType, Table
+
+
+class TestSqlType:
+    def test_numeric_flags(self):
+        assert SqlType.INT.is_numeric
+        assert SqlType.FLOAT.is_numeric
+        assert not SqlType.STRING.is_numeric
+        assert not SqlType.BOOL.is_numeric
+
+    def test_join_same(self):
+        assert SqlType.INT.join(SqlType.INT) == SqlType.INT
+        assert SqlType.STRING.join(SqlType.STRING) == SqlType.STRING
+
+    def test_join_numeric_promotion(self):
+        assert SqlType.INT.join(SqlType.FLOAT) == SqlType.FLOAT
+        assert SqlType.FLOAT.join(SqlType.INT) == SqlType.FLOAT
+
+    def test_join_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            SqlType.INT.join(SqlType.STRING)
+
+
+class TestTable:
+    def test_column_lookup_case_insensitive(self):
+        table = Table("T", (Column("Alpha", SqlType.INT),))
+        assert table.column("alpha").name == "Alpha"
+        assert table.column("ALPHA") is not None
+        assert table.column("beta") is None
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("T", (Column("a", SqlType.INT), Column("A", SqlType.INT)))
+
+    def test_column_names(self):
+        table = Table("T", (Column("x", SqlType.INT), Column("y", SqlType.STRING)))
+        assert table.column_names == ["x", "y"]
+
+
+class TestCatalog:
+    def test_from_spec_with_string_types(self):
+        catalog = Catalog.from_spec({"T": [("a", "INT"), ("b", "string")]})
+        table = catalog.table("t")
+        assert table.column("a").type == SqlType.INT
+        assert table.column("b").type == SqlType.STRING
+
+    def test_from_spec_with_enum_types(self):
+        catalog = Catalog.from_spec({"T": [("a", SqlType.FLOAT)]})
+        assert catalog.table("T").column("a").type == SqlType.FLOAT
+
+    def test_table_lookup_case_insensitive(self):
+        catalog = Catalog.from_spec({"Likes": [("x", "INT")]})
+        assert catalog.table("LIKES") is not None
+        assert "likes" in catalog
+        assert "nope" not in catalog
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog.from_spec({"T": [("a", "INT")]})
+        with pytest.raises(ValueError):
+            catalog.add(Table("t", (Column("b", SqlType.INT),)))
+
+    def test_iteration(self):
+        catalog = Catalog.from_spec({"A": [("x", "INT")], "B": [("y", "INT")]})
+        assert sorted(t.name for t in catalog) == ["A", "B"]

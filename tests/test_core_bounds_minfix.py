@@ -1,0 +1,187 @@
+"""Tests for CreateBounds (Algorithm 2) and MinFix (Algorithms 5/6)."""
+
+from repro.core.bounds import bounds_admit, create_bounds
+from repro.core.minfix import build_truth_table, map_atom_preds, min_fix, min_fix_pos
+from repro.logic.formulas import (
+    Comparison,
+    FALSE,
+    Not,
+    TRUE,
+    conj,
+    disj,
+    neg,
+)
+from repro.logic.terms import add, const, intvar
+
+A, B, C, D, E, F = (intvar(x) for x in "ABCDEF")
+
+
+def cmp(op, lhs, rhs):
+    return Comparison(op, lhs, rhs)
+
+
+def example5_predicates():
+    """P and P* from paper Example 5 / Figure 1."""
+    p_star = (cmp("=", A, C) & (cmp("<", E, const(5)) | cmp(">", D, const(10)) | cmp("<", D, const(7)))) | (
+        cmp("=", A, B) & (cmp("<>", D, E) | cmp(">", D, F))
+    )
+    p = (cmp("=", A, C) & (cmp("<>", D, E) | cmp(">", D, F))) | (
+        cmp("=", A, C)
+        & (cmp(">", D, const(11)) | cmp("<", D, const(7)) | cmp("<=", E, const(5)))
+    )
+    return p, p_star
+
+
+class TestCreateBounds:
+    def test_site_at_root(self):
+        p, _ = example5_predicates()
+        assert create_bounds(p, [()]) == (FALSE, TRUE)
+
+    def test_no_sites_bound_is_tight(self):
+        p, _ = example5_predicates()
+        lower, upper = create_bounds(p, [])
+        assert lower == p and upper == p
+
+    def test_atom_site_inside_and(self):
+        # (A=C and X) with X a site: bound is [FALSE, A=C].
+        formula = cmp("=", A, C) & cmp("<", D, const(7))
+        lower, upper = create_bounds(formula, [(1,)])
+        assert lower == FALSE
+        assert upper == cmp("=", A, C)
+
+    def test_atom_site_inside_or(self):
+        formula = cmp("=", A, C) | cmp("<", D, const(7))
+        lower, upper = create_bounds(formula, [(0,)])
+        assert lower == cmp("<", D, const(7))
+        assert upper == TRUE
+
+    def test_not_flips_bounds(self):
+        formula = Not(cmp("=", A, C) & cmp("<", D, const(7)))
+        lower, upper = create_bounds(formula, [(0, 1)])
+        # Child bound: [FALSE, A=C]; negation: [not(A=C), TRUE].
+        assert lower == neg(cmp("=", A, C))
+        assert upper == TRUE
+
+    def test_example7_root_bounds(self, solver):
+        # Paper Example 7: sites {x4, x10, x12} give root bounds
+        # [A=C and D<7,  D<>E or D>F or A=C].
+        p, p_star = example5_predicates()
+        sites = [(0, 0), (1, 1, 0), (1, 1, 2)]
+        lower, upper = create_bounds(p, sites)
+        expected_lower = cmp("=", A, C) & cmp("<", D, const(7))
+        expected_upper = disj(cmp("<>", D, E), cmp(">", D, F), cmp("=", A, C))
+        assert solver.is_equiv(lower, expected_lower)
+        assert solver.is_equiv(upper, expected_upper)
+        assert bounds_admit(solver, lower, p_star, upper)
+
+    def test_viability_rejects_insufficient_sites(self, solver):
+        # Fixing only x11 (D<7) cannot reach P*.
+        p, p_star = example5_predicates()
+        lower, upper = create_bounds(p, [(1, 1, 1)])
+        assert not bounds_admit(solver, lower, p_star, upper)
+
+    def test_bounds_always_contain_any_fix_result(self, solver):
+        # Lemma 5.3 sanity: applying arbitrary fixes stays within bounds.
+        from repro.logic.paths import replace_at
+
+        p, _ = example5_predicates()
+        sites = [(0, 0), (1, 1, 0)]
+        lower, upper = create_bounds(p, sites)
+        for fix in (TRUE, FALSE, cmp("=", A, B), cmp(">", D, F)):
+            repaired = replace_at(p, {site: fix for site in sites})
+            assert solver.in_bound(lower, repaired, upper)
+
+
+class TestMapAtomPreds:
+    def test_merges_equivalent_atoms(self, solver):
+        f1 = cmp("=", add(A, const(1)), add(B, const(1)))
+        f2 = cmp("=", A, B)
+        mapping = map_atom_preds([f1, f2], solver)
+        assert mapping.num_vars == 1
+
+    def test_merges_negation_equivalent_atoms(self, solver):
+        f1 = cmp("<", A, B)
+        f2 = cmp(">=", A, B)
+        mapping = map_atom_preds([conj(f1, f2)], solver)
+        assert mapping.num_vars == 1
+        assert mapping.polarity[f1][0] == mapping.polarity[f2][0]
+        assert mapping.polarity[f1][1] != mapping.polarity[f2][1]
+
+    def test_distinct_atoms_get_distinct_vars(self, solver):
+        mapping = map_atom_preds([cmp("<", A, B) & cmp("<", B, C)], solver)
+        assert mapping.num_vars == 2
+
+    def test_evaluate_respects_polarity(self, solver):
+        f = cmp("<", A, B)
+        g = cmp(">=", A, B)
+        mapping = map_atom_preds([f, g], solver)
+        assert mapping.evaluate(f, 0b1) != mapping.evaluate(g, 0b1)
+
+
+class TestBuildTruthTable:
+    def test_infeasible_rows_are_dont_care(self, solver):
+        # Atoms A=B and A<B cannot both hold.
+        lower = cmp("=", A, B) & cmp("<", A, B)
+        upper = lower
+        mapping = map_atom_preds([lower, upper], solver)
+        table = build_truth_table(mapping, lower, upper, solver)
+        both_true = (1 << mapping.num_vars) - 1
+        assert table.output(both_true) == "*"
+
+    def test_gap_rows_are_dont_care(self, solver):
+        lower = cmp("=", A, const(5))
+        upper = TRUE
+        mapping = map_atom_preds([lower, upper], solver)
+        table = build_truth_table(mapping, lower, upper, solver)
+        assert table.output(0) == "*"  # l=0, u=1 -> don't care
+
+
+class TestMinFix:
+    def test_tight_bound_returns_equivalent(self, solver):
+        target = cmp("=", A, B) & cmp("<", C, const(5))
+        fix = min_fix(target, target, solver)
+        assert solver.is_equiv(fix, target)
+
+    def test_degenerate_true(self, solver):
+        assert min_fix(TRUE, TRUE, solver) == TRUE
+
+    def test_degenerate_false(self, solver):
+        assert min_fix(FALSE, FALSE, solver) == FALSE
+
+    def test_full_slack_gives_constant(self, solver):
+        assert min_fix(FALSE, TRUE, solver) in (TRUE, FALSE)
+
+    def test_loose_bound_allows_smaller_formula(self, solver):
+        # Paper Section 5.2 example: [a1&a2&a3, (a1&a2)|a3] admits just a3.
+        a1 = cmp("=", A, const(1))
+        a2 = cmp("=", B, const(2))
+        a3 = cmp("=", C, const(3))
+        lower = conj(a1, a2, a3)
+        upper = disj(conj(a1, a2), a3)
+        fix = min_fix(lower, upper, solver)
+        assert fix == a3
+
+    def test_result_always_within_bounds(self, solver):
+        lower = cmp("=", A, B) & cmp(">", C, const(0))
+        upper = cmp("=", A, B) | cmp(">", C, const(0))
+        fix = min_fix(lower, upper, solver)
+        assert solver.in_bound(lower, fix, upper)
+
+    def test_example14(self, solver):
+        # l = (a>=b and f=e) or a=b ; u = a=b or e=f or a>b ; answer a>=b.
+        lower = disj(conj(cmp(">=", A, B), cmp("=", F, E)), cmp("=", A, B))
+        upper = disj(cmp("=", A, B), cmp("=", E, F), cmp(">", A, B))
+        fix = min_fix(lower, upper, solver)
+        assert solver.is_equiv(fix, cmp(">=", A, B))
+        assert fix.size() == 1
+
+    def test_pos_variant_within_bounds(self, solver):
+        lower = cmp("=", A, B) & cmp(">", C, const(0))
+        upper = cmp("=", A, B) | cmp(">", C, const(0))
+        fix = min_fix_pos(lower, upper, solver)
+        assert solver.in_bound(lower, fix, upper)
+
+    def test_pos_variant_conjunctive_target(self, solver):
+        target = cmp("=", A, B) & cmp("<", C, D)
+        fix = min_fix_pos(target, target, solver)
+        assert solver.is_equiv(fix, target)

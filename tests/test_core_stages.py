@@ -1,0 +1,351 @@
+"""Tests for the FROM / GROUP BY / HAVING / SELECT stages and table mapping."""
+
+import pytest
+
+from repro.core.from_stage import apply_from_fix, check_from
+from repro.core.groupby_stage import apply_grouping_fix, fix_grouping
+from repro.core.having_stage import (
+    analyze_having,
+    having_equivalent,
+    repair_having,
+    split_having,
+)
+from repro.core.select_stage import apply_select_fix, fix_select
+from repro.core.table_mapping import find_table_mapping, unify_target
+from repro.logic.formulas import TRUE
+from repro.sqlparser import parse_query
+
+
+class TestFromStage:
+    def test_viable_when_multisets_match(self, beers_catalog):
+        target = parse_query("SELECT beer FROM Serves", beers_catalog)
+        working = parse_query("SELECT s.beer FROM Serves s", beers_catalog)
+        assert check_from(target, working).viable
+
+    def test_missing_table_detected(self, beers_catalog):
+        target = parse_query(
+            "SELECT likes.beer FROM Likes, Frequents "
+            "WHERE likes.drinker = frequents.drinker",
+            beers_catalog,
+        )
+        working = parse_query("SELECT beer FROM Likes", beers_catalog)
+        delta = check_from(target, working)
+        assert delta.missing == {"frequents": 1}
+        assert not delta.extra
+
+    def test_extra_table_detected(self, beers_catalog):
+        target = parse_query("SELECT beer FROM Likes", beers_catalog)
+        working = parse_query(
+            "SELECT likes.beer FROM Likes, Drinker", beers_catalog
+        )
+        delta = check_from(target, working)
+        assert delta.extra == {"drinker": 1}
+
+    def test_self_join_count_mismatch(self, beers_catalog):
+        target = parse_query(
+            "SELECT s1.beer FROM Serves s1, Serves s2 WHERE s1.bar = s2.bar",
+            beers_catalog,
+        )
+        working = parse_query("SELECT s1.beer FROM Serves s1", beers_catalog)
+        delta = check_from(target, working)
+        assert delta.missing == {"serves": 1}
+
+    def test_apply_fix_adds_fresh_alias(self, beers_catalog):
+        target = parse_query(
+            "SELECT s1.beer FROM Serves s1, Serves s2 WHERE s1.bar = s2.bar",
+            beers_catalog,
+        )
+        working = parse_query("SELECT serves.beer FROM Serves", beers_catalog)
+        fixed = apply_from_fix(working, target, check_from(target, working))
+        assert fixed.tables_multiset() == target.tables_multiset()
+        assert len(set(fixed.aliases())) == 2
+
+    def test_apply_fix_scrubs_removed_references(self, beers_catalog):
+        target = parse_query("SELECT beer FROM Likes", beers_catalog)
+        working = parse_query(
+            "SELECT likes.beer FROM Likes, Drinker WHERE drinker.name = 'Amy'",
+            beers_catalog,
+        )
+        fixed = apply_from_fix(working, target, check_from(target, working))
+        assert fixed.tables_multiset() == target.tables_multiset()
+        assert not any(
+            v.name.startswith("drinker.") for v in fixed.where.variables()
+        )
+
+
+class TestTableMapping:
+    def test_identity_for_distinct_tables(self, beers_catalog):
+        target = parse_query(
+            "SELECT likes.beer FROM Likes, Serves "
+            "WHERE likes.beer = serves.beer",
+            beers_catalog,
+        )
+        working = parse_query(
+            "SELECT l.beer FROM Likes l, Serves s WHERE l.beer = s.beer",
+            beers_catalog,
+        )
+        mapping = find_table_mapping(target, working, beers_catalog)
+        assert mapping == {"likes": "l", "serves": "s"}
+
+    def test_self_join_roles_matched_by_signature(self, beers_catalog):
+        # Paper Example 4/12: S1 plays the "frequented bar" role; in the
+        # working query that role is played by s2.
+        target = parse_query(
+            "SELECT L.beer, S1.bar, COUNT(*) "
+            "FROM Likes L, Frequents F, Serves S1, Serves S2 "
+            "WHERE L.drinker = F.drinker AND F.bar = S1.bar AND L.beer = S1.beer "
+            "AND S1.beer = S2.beer AND S1.price <= S2.price "
+            "GROUP BY F.drinker, L.beer, S1.bar HAVING F.drinker = 'Amy'",
+            beers_catalog,
+        )
+        working = parse_query(
+            "SELECT s2.beer, s2.bar, COUNT(*) "
+            "FROM Likes, Frequents, Serves s1, Serves s2 "
+            "WHERE likes.drinker = 'Amy' AND likes.beer = s1.beer "
+            "AND likes.beer = s2.beer AND s1.price > s2.price "
+            "GROUP BY s2.beer, s2.bar",
+            beers_catalog,
+        )
+        mapping = find_table_mapping(target, working, beers_catalog)
+        assert mapping["s1"] == "s2"
+        assert mapping["s2"] == "s1"
+
+    def test_unify_renames_target_formulas(self, beers_catalog):
+        target = parse_query(
+            "SELECT l.beer FROM Likes l WHERE l.drinker = 'Amy'", beers_catalog
+        )
+        working = parse_query(
+            "SELECT x.beer FROM Likes x WHERE x.drinker = 'Amy'", beers_catalog
+        )
+        unified, mapping = unify_target(target, working, beers_catalog)
+        assert mapping == {"l": "x"}
+        assert unified.where == working.where
+
+    def test_mismatched_multisets_rejected(self, beers_catalog):
+        target = parse_query("SELECT beer FROM Likes", beers_catalog)
+        working = parse_query("SELECT beer FROM Serves", beers_catalog)
+        with pytest.raises(ValueError):
+            find_table_mapping(target, working, beers_catalog)
+
+    def test_alias_swap_collision_safe(self, beers_catalog):
+        # Target uses aliases that collide with the working query's in a
+        # crossed way; simultaneous rename must not capture.
+        target = parse_query(
+            "SELECT a.beer FROM Serves a, Serves b WHERE a.price <= b.price",
+            beers_catalog,
+        )
+        working = parse_query(
+            "SELECT b.beer FROM Serves a, Serves b WHERE b.price <= a.price",
+            beers_catalog,
+        )
+        unified, mapping = unify_target(target, working, beers_catalog)
+        assert sorted(unified.aliases()) == ["a", "b"]
+        assert unified.select == working.select
+
+
+class TestGroupByStage:
+    def test_paper_example_6_1(self, rs_catalog, solver):
+        # GROUP BY B, D  vs  GROUP BY C+D, C under WHERE B=C are equivalent.
+        target = parse_query(
+            "SELECT b FROM R, S WHERE b = c GROUP BY b, d", rs_catalog
+        )
+        working = parse_query(
+            "SELECT c FROM R, S WHERE b = c GROUP BY c + d, c", rs_catalog
+        )
+        delta = fix_grouping(
+            target.where, working.group_by, target.group_by, solver
+        )
+        assert delta.viable
+
+    def test_wrong_expression_flagged(self, rs_catalog, solver):
+        target = parse_query(
+            "SELECT b, COUNT(*) FROM R GROUP BY b", rs_catalog
+        )
+        working = parse_query(
+            "SELECT b, COUNT(*) FROM R GROUP BY b, a", rs_catalog
+        )
+        delta = fix_grouping(
+            target.where, working.group_by, target.group_by, solver
+        )
+        assert delta.remove == [1]  # grouping by `a` splits target groups
+        assert not delta.add
+
+    def test_missing_expression_flagged(self, rs_catalog, solver):
+        target = parse_query(
+            "SELECT a, b, COUNT(*) FROM R GROUP BY a, b", rs_catalog
+        )
+        working = parse_query("SELECT a, COUNT(*) FROM R GROUP BY a", rs_catalog)
+        delta = fix_grouping(
+            target.where, working.group_by, target.group_by, solver
+        )
+        assert not delta.remove
+        assert delta.add == [1]
+
+    def test_constant_grouping_not_flagged(self, rs_catalog, solver):
+        # Grouping by a WHERE-pinned value adds nothing (single group per
+        # target partition) and must not be flagged (strong minimality).
+        target = parse_query(
+            "SELECT b, COUNT(*) FROM R WHERE a = 5 GROUP BY b", rs_catalog
+        )
+        working = parse_query(
+            "SELECT b, COUNT(*) FROM R WHERE a = 5 GROUP BY b, a", rs_catalog
+        )
+        delta = fix_grouping(
+            target.where, working.group_by, target.group_by, solver
+        )
+        assert delta.viable
+
+    def test_apply_grouping_fix(self, rs_catalog, solver):
+        target = parse_query(
+            "SELECT a, b, COUNT(*) FROM R GROUP BY a, b", rs_catalog
+        )
+        working = parse_query(
+            "SELECT b, COUNT(*) FROM R GROUP BY b, b + b", rs_catalog
+        )
+        delta = fix_grouping(
+            target.where, working.group_by, target.group_by, solver
+        )
+        fixed = apply_grouping_fix(working.group_by, target.group_by, delta)
+        check = fix_grouping(target.where, fixed, target.group_by, solver)
+        assert check.viable
+
+
+class TestHavingStage:
+    def test_paper_example_10(self, rs_catalog, solver):
+        # Equivalence via A=C in WHERE, 2*SUM(D) = SUM(D*2), and A>4
+        # movable between WHERE and HAVING.
+        target = parse_query(
+            "SELECT a FROM R, S WHERE a = c AND a > 4 GROUP BY a, b "
+            "HAVING a > b + 3 AND 2 * SUM(d) > 10",
+            rs_catalog,
+        )
+        working = parse_query(
+            "SELECT a FROM R, S WHERE a = c GROUP BY a, b, c "
+            "HAVING c > b + 3 AND SUM(d * 2) > 10 AND a > 4",
+            rs_catalog,
+        )
+        t_where, t_having = split_having(
+            target.where, target.group_by, target.having
+        )
+        w_where, w_having = split_having(
+            working.where, working.group_by, working.having
+        )
+        assert solver.is_equiv(t_where, w_where)
+        analysis = analyze_having(
+            t_where, working.group_by, target.group_by, w_having, t_having
+        )
+        assert having_equivalent(analysis, solver)
+
+    def test_example3_redundant_having(self, rs_catalog, solver):
+        # WHERE A>100 makes HAVING MAX(A)>=101 redundant (paper Example 3).
+        target = parse_query(
+            "SELECT b, COUNT(*) FROM R WHERE a > 100 GROUP BY b", rs_catalog
+        )
+        working = parse_query(
+            "SELECT b, COUNT(*) FROM R WHERE a > 100 GROUP BY b "
+            "HAVING MAX(a) >= 101",
+            rs_catalog,
+        )
+        analysis = analyze_having(
+            target.where,
+            working.group_by,
+            target.group_by,
+            working.having,
+            target.having,
+        )
+        assert having_equivalent(analysis, solver)
+
+    def test_wrong_having_repaired(self, rs_catalog, solver):
+        target = parse_query(
+            "SELECT b FROM R GROUP BY b HAVING COUNT(*) >= 2", rs_catalog
+        )
+        working = parse_query(
+            "SELECT b FROM R GROUP BY b HAVING COUNT(*) > 2", rs_catalog
+        )
+        analysis = analyze_having(
+            target.where,
+            working.group_by,
+            target.group_by,
+            working.having,
+            target.having,
+        )
+        assert not having_equivalent(analysis, solver)
+        result = repair_having(analysis, solver=solver)
+        assert result.found
+        repaired = result.repair.apply(analysis.working_scalar)
+        assert solver.is_equiv(repaired, analysis.target_scalar, analysis.context)
+
+    def test_split_having_moves_nonaggregate_conjuncts(self, rs_catalog):
+        query = parse_query(
+            "SELECT a FROM R GROUP BY a, b HAVING a > 1 AND COUNT(*) > 2 "
+            "AND b < 5",
+            rs_catalog,
+        )
+        where, having = split_having(query.where, query.group_by, query.having)
+        assert all(atom.left.has_aggregate() for atom in having.atoms())
+        moved = {str(a) for a in where.atoms()}
+        assert "r.a > 1" in moved and "r.b < 5" in moved
+
+    def test_count_distinct_not_conflated_with_count(self, rs_catalog, solver):
+        target = parse_query(
+            "SELECT b FROM R GROUP BY b HAVING COUNT(DISTINCT a) >= 2",
+            rs_catalog,
+        )
+        working = parse_query(
+            "SELECT b FROM R GROUP BY b HAVING COUNT(*) >= 2", rs_catalog
+        )
+        analysis = analyze_having(
+            target.where,
+            working.group_by,
+            target.group_by,
+            working.having,
+            target.having,
+        )
+        assert not having_equivalent(analysis, solver)
+
+
+class TestSelectStage:
+    def test_positionally_equal(self, rs_catalog, solver):
+        target = parse_query("SELECT a, b FROM R", rs_catalog)
+        working = parse_query("SELECT a, b FROM R", rs_catalog)
+        assert fix_select(working.select, target.select, (), solver).viable
+
+    def test_equivalence_uses_where_context(self, rs_catalog, solver):
+        # Under WHERE a=b, selecting a vs b is equivalent.
+        target = parse_query("SELECT a FROM R WHERE a = b", rs_catalog)
+        working = parse_query("SELECT b FROM R WHERE a = b", rs_catalog)
+        delta = fix_select(
+            working.select, target.select, (target.where,), solver
+        )
+        assert delta.viable
+
+    def test_wrong_position_flagged(self, rs_catalog, solver):
+        target = parse_query("SELECT a, b FROM R", rs_catalog)
+        working = parse_query("SELECT b, a FROM R", rs_catalog)
+        delta = fix_select(working.select, target.select, (), solver)
+        assert delta.remove == [0, 1]
+        assert delta.add == [0, 1]
+
+    def test_arity_mismatch(self, rs_catalog, solver):
+        target = parse_query("SELECT a, b FROM R", rs_catalog)
+        working = parse_query("SELECT a FROM R", rs_catalog)
+        delta = fix_select(working.select, target.select, (), solver)
+        assert delta.add == [1]
+        assert not delta.remove
+
+    def test_apply_select_fix(self, rs_catalog, solver):
+        target = parse_query("SELECT a, b FROM R", rs_catalog)
+        working = parse_query("SELECT b, a, a + b FROM R", rs_catalog)
+        delta = fix_select(working.select, target.select, (), solver)
+        fixed = apply_select_fix(working.select, target.select, delta)
+        assert list(fixed) == list(target.select)
+
+    def test_aggregate_expressions_compared_normalized(self, rs_catalog, solver):
+        target = parse_query(
+            "SELECT b, 2 * SUM(a) FROM R GROUP BY b", rs_catalog
+        )
+        working = parse_query(
+            "SELECT b, SUM(a * 2) FROM R GROUP BY b", rs_catalog
+        )
+        delta = fix_select(working.select, target.select, (), solver)
+        assert delta.viable

@@ -1,0 +1,71 @@
+"""Integration: WHERE repair across all TPC-H benchmark predicates.
+
+A condensed version of the Figure 2/3 workloads run as correctness tests:
+for every TPC-H query and several seeds, injected errors must be repaired
+to solver-verified equivalence (Lemma 5.1's unconditional guarantee).
+"""
+
+import pytest
+
+from repro.core.where_repair import repair_where, verify_repair
+from repro.solver import Solver
+from repro.workloads import tpch
+from repro.workloads.inject import inject_errors
+
+FAST_QUERIES = [q for q in tpch.CONJUNCTIVE_QUERIES if q.num_atoms <= 7]
+
+
+@pytest.mark.parametrize("query", FAST_QUERIES, ids=[q.name for q in FAST_QUERIES])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_conjunctive_injection_repaired(query, seed):
+    predicate = query.resolve().where
+    injected = inject_errors(predicate, 2, seed=seed)
+    solver = Solver()
+    if solver.is_equiv(injected.wrong, injected.correct):
+        pytest.skip("mutation was semantics-preserving")
+    result = repair_where(
+        injected.wrong, injected.correct, max_sites=2, solver=solver
+    )
+    assert result.found
+    assert verify_repair(injected.wrong, injected.correct, result.repair, solver)
+    assert result.cost <= injected.ground_truth_cost() + 1e-9
+
+
+@pytest.mark.parametrize("seed", [7, 11])
+def test_nested_single_error_optimal(seed):
+    """Lemma 5.2: single-site repairs on Q7 are optimal for both variants."""
+    predicate = tpch.Q7_NESTED.resolve().where
+    injected = inject_errors(predicate, 1, seed=seed, allow_operator_swap=True)
+    solver = Solver()
+    if solver.is_equiv(injected.wrong, injected.correct):
+        pytest.skip("mutation was semantics-preserving")
+    for optimized in (False, True):
+        result = repair_where(
+            injected.wrong,
+            injected.correct,
+            max_sites=2,
+            optimized=optimized,
+            solver=solver,
+        )
+        assert result.found
+        assert verify_repair(
+            injected.wrong, injected.correct, result.repair, solver
+        )
+        assert result.cost <= injected.ground_truth_cost() + 1e-9
+
+
+def test_full_pipeline_on_tpch_query():
+    """End-to-end pipeline over a grouped TPC-H query with a WHERE error."""
+    from dataclasses import replace
+
+    from repro.core.pipeline import QrHint
+    from repro.engine import appear_equivalent
+
+    catalog = tpch.catalog()
+    target = tpch.Q10.resolve(catalog)
+    injected = inject_errors(target.where, 1, seed=3)
+    working = replace(target, where=injected.wrong)
+    report = QrHint(catalog, target, working).run()
+    assert appear_equivalent(
+        report.final_query, report.target_query, catalog, trials=20
+    )

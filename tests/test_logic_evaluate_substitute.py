@@ -1,0 +1,115 @@
+"""Tests for repro.logic.evaluate and repro.logic.substitute."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.evaluate import EvaluationError, eval_formula, eval_term, sql_like
+from repro.logic.formulas import Comparison, FALSE, TRUE, conj, disj, neg
+from repro.logic.substitute import instantiate, rename_variables, substitute
+from repro.logic.terms import AggCall, add, const, div, intvar, mul, strvar
+
+
+class TestSqlLike:
+    def test_percent_wildcard(self):
+        assert sql_like("Eve", "Eve%")
+        assert sql_like("Evelyn", "Eve%")
+        assert not sql_like("Adam", "Eve%")
+
+    def test_underscore_wildcard(self):
+        assert sql_like("cat", "c_t")
+        assert not sql_like("cart", "c_t")
+
+    def test_literal_match(self):
+        assert sql_like("abc", "abc")
+        assert not sql_like("abc", "abd")
+
+    def test_regex_metachars_escaped(self):
+        assert sql_like("a.b", "a.b")
+        assert not sql_like("axb", "a.b")
+
+    def test_percent_matches_empty(self):
+        assert sql_like("", "%")
+
+
+class TestEvalTerm:
+    def test_arithmetic(self):
+        env = {"x": Fraction(4), "y": Fraction(2)}
+        term = add(mul(intvar("x"), intvar("y")), const(1))
+        assert eval_term(term, env) == 9
+
+    def test_division_fraction(self):
+        env = {"x": Fraction(1)}
+        assert eval_term(div(intvar("x"), const(2)), env) == Fraction(1, 2)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            eval_term(div(const(1), const(0)), {})
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvaluationError):
+            eval_term(intvar("nope"), {})
+
+    def test_aggregate_from_env(self):
+        agg = AggCall("COUNT", None)
+        assert eval_term(agg, {"COUNT(*)": Fraction(3)}) == 3
+
+
+class TestEvalFormula:
+    def test_comparisons(self):
+        env = {"x": Fraction(3)}
+        x = intvar("x")
+        assert eval_formula(Comparison("<", x, const(5)), env)
+        assert not eval_formula(Comparison(">", x, const(5)), env)
+        assert eval_formula(Comparison("<>", x, const(5)), env)
+
+    def test_like_on_strings(self):
+        env = {"s": "Eve"}
+        assert eval_formula(Comparison("LIKE", strvar("s"), const("E%")), env)
+        assert eval_formula(Comparison("NOT LIKE", strvar("s"), const("A%")), env)
+
+    def test_connectives(self):
+        env = {"x": Fraction(1)}
+        x = intvar("x")
+        t = Comparison("=", x, const(1))
+        f = Comparison("=", x, const(2))
+        assert eval_formula(conj(t, neg(f)), env)
+        assert eval_formula(disj(f, t), env)
+        assert not eval_formula(conj(t, f), env)
+
+    def test_constants(self):
+        assert eval_formula(TRUE, {})
+        assert not eval_formula(FALSE, {})
+
+
+class TestSubstitute:
+    def test_var_to_const(self):
+        x = intvar("x")
+        formula = Comparison("<", x, const(5))
+        result = substitute(formula, {x: const(3)})
+        assert eval_formula(result, {})
+
+    def test_substitution_inside_aggregate(self):
+        x = intvar("x")
+        agg = AggCall("SUM", mul(x, const(2)))
+        from repro.logic.substitute import substitute_term
+
+        replaced = substitute_term(agg, {x: intvar("y")})
+        assert intvar("y") in replaced.variables()
+
+    def test_rename_preserves_type(self):
+        formula = Comparison("=", strvar("s"), const("a"))
+        renamed = rename_variables(formula, {"s": "t"})
+        (var,) = renamed.variables()
+        assert var.name == "t"
+        assert var.vtype.name == "STRING"
+
+    def test_instantiate_suffixes_all_vars(self):
+        formula = Comparison("=", intvar("x"), intvar("y"))
+        inst = instantiate(formula, "#1")
+        names = {v.name for v in inst.variables()}
+        assert names == {"x#1", "y#1"}
+
+    def test_instantiate_distinct_copies_differ(self):
+        formula = Comparison("=", intvar("x"), const(1))
+        assert instantiate(formula, "#1") != instantiate(formula, "#2")

@@ -1,0 +1,135 @@
+"""Tests for repro.logic.formulas."""
+
+import pytest
+
+from repro.logic.formulas import (
+    And,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    conj,
+    disj,
+    iff,
+    implies,
+    neg,
+    xor,
+)
+from repro.logic.terms import const, intvar
+
+A = Comparison("=", intvar("a"), intvar("b"))
+B = Comparison("<", intvar("c"), const(5))
+C = Comparison(">=", intvar("d"), const(0))
+
+
+class TestComparison:
+    def test_atom_size_is_one(self):
+        assert A.size() == 1
+
+    def test_negated_operator_table(self):
+        assert Comparison("<", intvar("x"), const(1)).negated().op == ">="
+        assert Comparison("=", intvar("x"), const(1)).negated().op == "<>"
+        assert Comparison("LIKE", intvar("x"), const("a")).negated().op == "NOT LIKE"
+
+    def test_double_negation_is_identity(self):
+        assert A.negated().negated() == A
+
+    def test_flipped(self):
+        flipped = Comparison("<", intvar("x"), intvar("y")).flipped()
+        assert flipped.op == ">"
+        assert str(flipped) == "y > x"
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("===", intvar("x"), intvar("y"))
+
+
+class TestSmartConstructors:
+    def test_conj_flattens(self):
+        result = conj(A, conj(B, C))
+        assert isinstance(result, And)
+        assert len(result.operands) == 3
+
+    def test_conj_identity(self):
+        assert conj(A, TRUE) == A
+        assert conj() == TRUE
+
+    def test_conj_annihilator(self):
+        assert conj(A, FALSE) == FALSE
+
+    def test_disj_flattens(self):
+        result = disj(disj(A, B), C)
+        assert isinstance(result, Or)
+        assert len(result.operands) == 3
+
+    def test_disj_identity(self):
+        assert disj(A, FALSE) == A
+        assert disj() == FALSE
+
+    def test_disj_annihilator(self):
+        assert disj(A, TRUE) == TRUE
+
+    def test_neg_constants(self):
+        assert neg(TRUE) == FALSE
+        assert neg(FALSE) == TRUE
+
+    def test_neg_atom_folds_into_operator(self):
+        assert neg(A) == A.negated()
+
+    def test_neg_double(self):
+        inner = And((A, B))
+        assert neg(neg(inner)) == inner
+
+    def test_operators_overloads(self):
+        assert (A & B) == conj(A, B)
+        assert (A | B) == disj(A, B)
+        assert (~A) == neg(A)
+
+    def test_nary_requires_two_children(self):
+        with pytest.raises(ValueError):
+            And((A,))
+        with pytest.raises(ValueError):
+            Or((A,))
+
+
+class TestSizeAndCollections:
+    def test_size_matches_paper_example5(self):
+        # P from Example 5 has 12 nodes (Figure 1b).
+        a, b, c, d, e, f = (intvar(x) for x in "abcdef")
+        p = (Comparison("=", a, c) & (Comparison("<>", d, e) | Comparison(">", d, f))) | (
+            Comparison("=", a, c)
+            & (
+                Comparison(">", d, const(11))
+                | Comparison("<", d, const(7))
+                | Comparison("<=", e, const(5))
+            )
+        )
+        assert p.size() == 12
+
+    def test_atoms_in_order(self):
+        formula = (A & B) | C
+        assert formula.atoms() == [A, B, C]
+
+    def test_variables(self):
+        formula = A & B
+        names = {v.name for v in formula.variables()}
+        assert names == {"a", "b", "c"}
+
+    def test_not_size(self):
+        assert Not(And((A, B))).size() == 4
+
+
+class TestDerivedConnectives:
+    def test_implies_shape(self):
+        formula = implies(A, B)
+        assert isinstance(formula, Or)
+
+    def test_iff_symmetric_structure(self):
+        formula = iff(A, B)
+        assert isinstance(formula, And)
+
+    def test_xor_structure(self):
+        formula = xor(A, B)
+        assert isinstance(formula, Or)
+        assert len(formula.operands) == 2

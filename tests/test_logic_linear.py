@@ -1,0 +1,114 @@
+"""Tests for repro.logic.linear (linearization)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.linear import (
+    LinExpr,
+    NonLinearError,
+    linearize,
+    linexpr_to_term,
+    try_linearize,
+)
+from repro.logic.terms import AggCall, Neg, add, const, div, floatvar, intvar, mul, sub
+
+
+class TestLinearize:
+    def test_constant(self):
+        assert linearize(const(7)).constant == 7
+        assert linearize(const(7)).is_constant
+
+    def test_variable(self):
+        x = intvar("x")
+        expr = linearize(x)
+        assert expr.coeff_dict() == {x: Fraction(1)}
+
+    def test_sum_and_difference(self):
+        x, y = intvar("x"), intvar("y")
+        expr = linearize(sub(add(x, y), y))
+        assert expr.coeff_dict() == {x: Fraction(1)}
+
+    def test_scaling_by_constant(self):
+        x = intvar("x")
+        expr = linearize(mul(const(3), x))
+        assert expr.coeff_dict() == {x: Fraction(3)}
+        expr2 = linearize(mul(x, const(3)))
+        assert expr == expr2
+
+    def test_division_by_constant(self):
+        x = intvar("x")
+        expr = linearize(div(x, const(2)))
+        assert expr.coeff_dict() == {x: Fraction(1, 2)}
+
+    def test_nested_arithmetic(self):
+        x, y = intvar("x"), intvar("y")
+        # 2*(x + 3) - y/2 + 1  ->  2x - y/2 + 7
+        term = add(sub(mul(const(2), add(x, const(3))), div(y, const(2))), const(1))
+        expr = linearize(term)
+        assert expr.coeff_dict() == {x: Fraction(2), y: Fraction(-1, 2)}
+        assert expr.constant == 7
+
+    def test_negation(self):
+        x = intvar("x")
+        assert linearize(Neg(x)).coeff_dict() == {x: Fraction(-1)}
+
+    def test_same_syntax_same_linform(self):
+        # a + 1 = b + 1 and a = b linearize to the same difference.
+        a, b = intvar("a"), intvar("b")
+        left = linearize(add(a, const(1))).sub(linearize(add(b, const(1))))
+        right = linearize(a).sub(linearize(b))
+        assert left == right
+
+    def test_product_of_vars_rejected(self):
+        x, y = intvar("x"), intvar("y")
+        with pytest.raises(NonLinearError):
+            linearize(mul(x, y))
+        assert try_linearize(mul(x, y)) is None
+
+    def test_division_by_var_rejected(self):
+        x, y = intvar("x"), intvar("y")
+        with pytest.raises(NonLinearError):
+            linearize(div(x, y))
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(NonLinearError):
+            linearize(div(intvar("x"), const(0)))
+
+    def test_string_constant_rejected(self):
+        with pytest.raises(NonLinearError):
+            linearize(const("Amy"))
+
+    def test_aggregate_is_opaque_base_term(self):
+        agg = AggCall("SUM", intvar("x"))
+        expr = linearize(mul(const(2), agg))
+        assert expr.coeff_dict() == {agg: Fraction(2)}
+
+
+class TestLinExpr:
+    def test_add_cancels(self):
+        x = intvar("x")
+        a = LinExpr.of_term(x)
+        assert a.sub(a).is_constant
+
+    def test_scale_zero(self):
+        x = intvar("x")
+        assert LinExpr.of_term(x).scale(0).is_constant
+
+    def test_is_integral(self):
+        x = intvar("x")
+        assert LinExpr.build({x: Fraction(2)}, Fraction(3)).is_integral()
+        assert not LinExpr.build({x: Fraction(1, 2)}, Fraction(0)).is_integral()
+
+    def test_all_int_typed(self):
+        assert LinExpr.of_term(intvar("x")).all_int_typed()
+        assert not LinExpr.of_term(floatvar("y")).all_int_typed()
+
+    def test_roundtrip_via_term(self):
+        x, y = intvar("x"), intvar("y")
+        original = LinExpr.build({x: Fraction(2), y: Fraction(-1)}, Fraction(5))
+        assert linearize(linexpr_to_term(original)) == original
+
+    def test_roundtrip_constant_only(self):
+        original = LinExpr.of_const(9)
+        assert linearize(linexpr_to_term(original)) == original

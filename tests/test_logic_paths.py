@@ -1,0 +1,89 @@
+"""Tests for repro.logic.paths (tree addressing)."""
+
+import pytest
+
+from repro.logic.formulas import And, Comparison, Not, Or
+from repro.logic.paths import (
+    all_paths,
+    disjoint_path_sets,
+    is_prefix,
+    node_at,
+    paths_disjoint,
+    paths_under,
+    replace_at,
+)
+from repro.logic.terms import const, intvar
+
+A = Comparison("=", intvar("a"), const(1))
+B = Comparison("=", intvar("b"), const(2))
+C = Comparison("=", intvar("c"), const(3))
+TREE = Or((And((A, B)), C))  # paths: ()=Or, (0,)=And, (0,0)=A, (0,1)=B, (1,)=C
+
+
+class TestNavigation:
+    def test_node_at_root(self):
+        assert node_at(TREE, ()) is TREE
+
+    def test_node_at_nested(self):
+        assert node_at(TREE, (0, 1)) == B
+        assert node_at(TREE, (1,)) == C
+
+    def test_all_paths_preorder(self):
+        paths = [p for p, _ in all_paths(TREE)]
+        assert paths == [(), (0,), (0, 0), (0, 1), (1,)]
+
+    def test_is_prefix(self):
+        assert is_prefix((), (0, 1))
+        assert is_prefix((0,), (0, 1))
+        assert not is_prefix((1,), (0, 1))
+        assert is_prefix((0, 1), (0, 1))
+
+
+class TestDisjointness:
+    def test_paths_disjoint_true(self):
+        assert paths_disjoint([(0, 0), (0, 1), (1,)])
+
+    def test_paths_disjoint_false_on_ancestor(self):
+        assert not paths_disjoint([(0,), (0, 1)])
+
+    def test_paths_under(self):
+        assert paths_under([(0, 0), (0, 1), (1,)], (0,)) == [(0,), (1,)]
+
+    def test_disjoint_path_sets_size_one(self):
+        sets = list(disjoint_path_sets([p for p, _ in all_paths(TREE)], 1))
+        assert len(sets) == 5
+
+    def test_disjoint_path_sets_excludes_overlaps(self):
+        sets = list(disjoint_path_sets([p for p, _ in all_paths(TREE)], 2))
+        for pair in sets:
+            assert paths_disjoint(pair)
+        assert ((0,), (1,)) in sets
+        assert all((0,) not in s or (0, 0) not in s for s in sets)
+
+
+class TestReplace:
+    def test_replace_leaf(self):
+        new = replace_at(TREE, {(0, 0): C})
+        assert node_at(new, (0, 0)) == C
+        assert node_at(new, (0, 1)) == B  # untouched sibling
+
+    def test_replace_root(self):
+        assert replace_at(TREE, {(): A}) == A
+
+    def test_replace_multiple(self):
+        new = replace_at(TREE, {(0, 0): C, (1,): A})
+        assert node_at(new, (0, 0)) == C
+        assert node_at(new, (1,)) == A
+
+    def test_replace_inside_not(self):
+        tree = Not(And((A, B)))
+        new = replace_at(tree, {(0, 1): C})
+        assert node_at(new, (0, 1)) == C
+
+    def test_overlapping_replacements_rejected(self):
+        with pytest.raises(ValueError):
+            replace_at(TREE, {(0,): A, (0, 0): B})
+
+    def test_descending_into_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            replace_at(TREE, {(1, 0): A})

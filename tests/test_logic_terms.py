@@ -1,0 +1,128 @@
+"""Tests for repro.logic.terms."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.catalog import SqlType
+from repro.logic.terms import (
+    AggCall,
+    Arith,
+    Const,
+    Neg,
+    Var,
+    add,
+    const,
+    div,
+    intvar,
+    mul,
+    strvar,
+    sub,
+)
+
+
+class TestConst:
+    def test_of_int(self):
+        c = const(5)
+        assert c.value == Fraction(5)
+        assert c.type == SqlType.INT
+
+    def test_of_float(self):
+        c = const(2.5)
+        assert c.type == SqlType.FLOAT
+        assert c.value == Fraction(5, 2)
+
+    def test_of_string(self):
+        c = const("Amy")
+        assert c.type == SqlType.STRING
+        assert str(c) == "'Amy'"
+
+    def test_of_bool(self):
+        assert const(True).type == SqlType.BOOL
+
+    def test_string_escaping(self):
+        assert str(const("O'Brien")) == "'O''Brien'"
+
+    def test_fraction_integral_renders_as_int(self):
+        assert str(const(Fraction(4, 2))) == "2"
+
+    def test_unsupported_value_raises(self):
+        with pytest.raises(TypeError):
+            Const.of(object())
+
+
+class TestArith:
+    def test_type_promotion(self):
+        x = intvar("x")
+        y = Var("y", SqlType.FLOAT)
+        assert add(x, x).type == SqlType.INT
+        assert add(x, y).type == SqlType.FLOAT
+
+    def test_division_is_float(self):
+        x = intvar("x")
+        assert div(x, const(2)).type == SqlType.FLOAT
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Arith("%", intvar("x"), intvar("y"))
+
+    def test_size_counts_nodes(self):
+        x = intvar("x")
+        expr = add(mul(x, const(2)), const(1))  # (+ (* x 2) 1) = 5 nodes
+        assert expr.size() == 5
+
+    def test_neg(self):
+        x = intvar("x")
+        assert Neg(x).type == SqlType.INT
+        assert Neg(x).size() == 2
+
+
+class TestVariables:
+    def test_variables_collects_vars(self):
+        x, y = intvar("x"), intvar("y")
+        expr = add(x, mul(y, const(3)))
+        assert expr.variables() == {x, y}
+
+    def test_variables_inside_aggregate(self):
+        x = intvar("x")
+        agg = AggCall("SUM", mul(x, const(2)))
+        assert agg.variables() == {x}
+
+    def test_hashable_and_equal(self):
+        assert intvar("x") == intvar("x")
+        assert len({intvar("x"), intvar("x"), intvar("y")}) == 2
+
+
+class TestAggCall:
+    def test_count_star(self):
+        c = AggCall("COUNT", None)
+        assert c.type == SqlType.INT
+        assert str(c) == "COUNT(*)"
+
+    def test_count_distinct_star_rejected(self):
+        with pytest.raises(ValueError):
+            AggCall("COUNT", None, distinct=True)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            AggCall("MEDIAN", intvar("x"))
+
+    def test_avg_is_float(self):
+        assert AggCall("AVG", intvar("x")).type == SqlType.FLOAT
+
+    def test_min_preserves_type(self):
+        assert AggCall("MIN", strvar("s")).type == SqlType.STRING
+
+    def test_distinct_rendering(self):
+        agg = AggCall("SUM", intvar("x"), distinct=True)
+        assert str(agg) == "SUM(DISTINCT x)"
+
+    def test_aggregates_collection(self):
+        agg = AggCall("MAX", intvar("x"))
+        expr = add(agg, const(1))
+        assert expr.aggregates() == {agg}
+        assert expr.has_aggregate()
+
+    def test_sub_helper(self):
+        expr = sub(intvar("a"), intvar("b"))
+        assert str(expr) == "(a - b)"

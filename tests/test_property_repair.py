@@ -1,0 +1,114 @@
+"""Property-based tests of the repair machinery on random predicates.
+
+Random conjunctive/nested predicates receive random injected errors; the
+repairs found by ``RepairWhere`` must always be *correct* (applying them
+yields a formula equivalent to the target) -- the unconditional guarantee
+of Lemma 5.1 -- and never cost more than the trivial whole-predicate
+replacement.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bounds import create_bounds
+from repro.core.where_repair import repair_where, verify_repair
+from repro.logic.formulas import Comparison, conj, disj
+from repro.logic.paths import all_paths, replace_at
+from repro.logic.terms import const, intvar
+from repro.solver import Solver
+from repro.workloads.inject import inject_errors
+
+SOLVER = Solver()
+VARS = [intvar(name) for name in "uvwxyz"]
+
+
+@st.composite
+def conjunctive_predicate(draw, min_atoms=3, max_atoms=6):
+    num = draw(st.integers(min_atoms, max_atoms))
+    atoms = []
+    for i in range(num):
+        op = draw(st.sampled_from(["=", "<", "<=", ">", ">="]))
+        left = VARS[i % len(VARS)]
+        if draw(st.booleans()):
+            right = VARS[draw(st.integers(0, len(VARS) - 1))]
+            if right == left:
+                right = const(draw(st.integers(-5, 20)))
+        else:
+            right = const(draw(st.integers(-5, 20)))
+        atoms.append(Comparison(op, left, right))
+    return conj(*atoms)
+
+
+@st.composite
+def nested_predicate(draw):
+    clause_a = draw(conjunctive_predicate(2, 3))
+    clause_b = draw(conjunctive_predicate(2, 3))
+    return disj(clause_a, clause_b)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(conjunctive_predicate(), st.integers(0, 10_000))
+def test_conjunctive_repairs_are_correct(predicate, seed):
+    try:
+        injected = inject_errors(predicate, 1, seed=seed)
+    except ValueError:
+        return
+    if SOLVER.is_equiv(injected.wrong, injected.correct):
+        return  # mutation happened to be semantics-preserving
+    result = repair_where(injected.wrong, injected.correct, solver=SOLVER)
+    assert result.found
+    assert verify_repair(injected.wrong, injected.correct, result.repair, SOLVER)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(nested_predicate(), st.integers(0, 10_000))
+def test_nested_repairs_are_correct(predicate, seed):
+    try:
+        injected = inject_errors(predicate, 1, seed=seed)
+    except ValueError:
+        return
+    if SOLVER.is_equiv(injected.wrong, injected.correct):
+        return
+    result = repair_where(
+        injected.wrong, injected.correct, max_sites=2, optimized=True,
+        solver=SOLVER,
+    )
+    assert result.found
+    assert verify_repair(injected.wrong, injected.correct, result.repair, SOLVER)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(conjunctive_predicate(), st.integers(0, 10_000))
+def test_repair_cost_never_exceeds_trivial(predicate, seed):
+    try:
+        injected = inject_errors(predicate, 1, seed=seed)
+    except ValueError:
+        return
+    if SOLVER.is_equiv(injected.wrong, injected.correct):
+        return
+    result = repair_where(injected.wrong, injected.correct, solver=SOLVER)
+    trivial_cost = 1 / 6 + (
+        injected.wrong.size() + injected.correct.size()
+    ) / (injected.wrong.size() + injected.correct.size())
+    assert result.cost <= trivial_cost + 1e-9
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(conjunctive_predicate(), st.integers(0, 10_000))
+def test_bounds_contain_all_single_site_fixes(predicate, seed):
+    """Lemma 5.3 property: any replacement stays within CreateBounds."""
+    import random
+
+    rng = random.Random(seed)
+    paths = [p for p, _ in all_paths(predicate)]
+    site = rng.choice(paths)
+    lower, upper = create_bounds(predicate, [site])
+    replacement = rng.choice(
+        [Comparison("=", VARS[0], const(1)), Comparison("<", VARS[1], VARS[2])]
+    )
+    repaired = replace_at(predicate, {site: replacement})
+    assert SOLVER.in_bound(lower, repaired, upper)

@@ -1,0 +1,183 @@
+"""Tests for the query IR, normal forms, hints, and failure-injection paths."""
+
+import pytest
+
+from repro.errors import SolverLimitError
+from repro.logic.forms import to_dnf, to_nnf
+from repro.logic.formulas import And, Comparison, FALSE, Not, Or, TRUE, conj, disj, neg
+from repro.logic.terms import const, intvar
+from repro.query import FromEntry, ResolvedQuery
+from repro.sqlparser import parse_query
+
+A = Comparison("=", intvar("a"), const(1))
+B = Comparison("<", intvar("b"), const(2))
+C = Comparison(">", intvar("c"), const(3))
+
+
+class TestNormalForms:
+    def test_nnf_pushes_negation_to_atoms(self):
+        formula = Not(And((A, Or((B, C)))))
+        nnf = to_nnf(formula)
+        assert not any(isinstance(node, Not) for node in _nodes(nnf))
+
+    def test_nnf_folds_atoms(self):
+        assert to_nnf(Not(A)) == A.negated()
+
+    def test_nnf_constants(self):
+        assert to_nnf(Not(TRUE)) == FALSE
+
+    def test_dnf_structure(self):
+        formula = conj(disj(A, B), C)
+        dnf = to_dnf(formula)
+        assert isinstance(dnf, Or)
+        for clause in dnf.operands:
+            assert not isinstance(clause, Or)
+
+    def test_dnf_preserves_semantics(self, solver):
+        formula = conj(disj(A, B), disj(C, neg(A)))
+        assert solver.is_equiv(formula, to_dnf(formula))
+
+    def test_dnf_blowup_guarded(self):
+        big = conj(
+            *(disj(Comparison("=", intvar(f"x{i}"), const(0)),
+                   Comparison("=", intvar(f"y{i}"), const(0)))
+              for i in range(15))
+        )
+        with pytest.raises(ValueError):
+            to_dnf(big, max_clauses=100)
+
+
+def _nodes(formula):
+    out = [formula]
+    for child in formula.children():
+        out.extend(_nodes(child))
+    return out
+
+
+class TestResolvedQueryIR:
+    def test_tables_multiset_counts_duplicates(self, beers_catalog):
+        query = parse_query(
+            "SELECT s1.beer FROM Serves s1, Serves s2, Likes "
+            "WHERE s1.beer = s2.beer AND s1.beer = likes.beer",
+            beers_catalog,
+        )
+        counts = query.tables_multiset()
+        assert counts["serves"] == 2
+        assert counts["likes"] == 1
+
+    def test_aliases_of_and_table_of(self, beers_catalog):
+        query = parse_query(
+            "SELECT s1.beer FROM Serves s1, Serves s2 WHERE s1.beer = s2.beer",
+            beers_catalog,
+        )
+        assert query.aliases_of("serves") == ["s1", "s2"]
+        assert query.table_of("s1") == "Serves"
+        assert query.table_of("zzz") is None
+
+    def test_rename_aliases_rewrites_everything(self, beers_catalog):
+        query = parse_query(
+            "SELECT s.beer FROM Serves s WHERE s.price > 2 GROUP BY s.beer "
+            "HAVING COUNT(*) > 1",
+            beers_catalog,
+        )
+        renamed = query.rename_aliases({"s": "srv"})
+        assert renamed.aliases() == ["srv"]
+        names = {v.name for v in renamed.where.variables()}
+        assert names == {"srv.price"}
+        assert renamed.group_by[0].name == "srv.beer"
+        assert renamed.select[0].name == "srv.beer"
+
+    def test_to_sql_round_trip(self, beers_catalog):
+        query = parse_query(
+            "SELECT bar, COUNT(*) FROM Serves WHERE price > 1 "
+            "GROUP BY bar HAVING COUNT(*) >= 2",
+            beers_catalog,
+        )
+        again = parse_query(query.to_sql(), beers_catalog)
+        assert again.group_by == query.group_by
+        assert again.having == query.having
+
+    def test_from_entry_rendering(self):
+        assert str(FromEntry("Serves", "serves")) == "Serves"
+        assert str(FromEntry("Serves", "s1")) == "Serves s1"
+
+    def test_select_aliases_rendered(self, beers_catalog):
+        query = parse_query("SELECT beer AS b FROM Serves", beers_catalog)
+        assert "AS b" in query.to_sql()
+
+
+class TestHintObjects:
+    def test_hint_str_includes_stage(self):
+        from repro.core.hints import Hint
+
+        hint = Hint("WHERE", "repair-site", "fix it", site="a > b")
+        assert str(hint).startswith("[WHERE]")
+        assert hint.public_message() == "fix it"
+
+    def test_from_stage_hint_counts(self):
+        from repro.core.from_stage import FromDelta
+        from repro.core.hints import from_stage_hints
+
+        delta = FromDelta(missing={"likes": 2}, extra={"bar": 1})
+        hints = from_stage_hints(delta)
+        assert len(hints) == 2
+        kinds = {h.kind for h in hints}
+        assert kinds == {"missing-table", "extra-table"}
+
+    def test_select_hints_cover_all_categories(self):
+        from repro.core.select_stage import SelectDelta
+        from repro.core.hints import select_hints
+
+        terms = (intvar("x"), intvar("y"), intvar("z"))
+        delta = SelectDelta(remove=[0, 2], add=[0, 3])
+        hints = select_hints(delta, terms, target_len=4)
+        kinds = [h.kind for h in hints]
+        assert "wrong-expr" in kinds
+        assert "extra-expr" in kinds
+        assert "missing-expr" in kinds
+
+
+class TestFailureInjection:
+    def test_minfix_atom_budget_enforced(self, solver):
+        from repro.core.minfix import min_fix
+
+        atoms = [
+            Comparison("=", intvar(f"v{i}"), const(i)) for i in range(16)
+        ]
+        lower = conj(*atoms)
+        upper = disj(*atoms)
+        with pytest.raises(SolverLimitError):
+            min_fix(lower, upper, solver)
+
+    def test_repair_where_survives_minfix_budget(self, solver):
+        # When a candidate site's fix derivation exceeds the atom budget,
+        # RepairWhere skips it rather than crashing (falls back to other
+        # sites, ultimately the root).
+        from repro.core.where_repair import repair_where
+
+        p = conj(*(Comparison("=", intvar(f"v{i}"), const(i)) for i in range(6)))
+        p_star = conj(
+            *(Comparison("=", intvar(f"v{i}"), const(i + 1)) for i in range(6))
+        )
+        result = repair_where(p, p_star, max_sites=2, solver=solver)
+        assert result.found
+
+    def test_solver_conflict_budget(self):
+        from repro.solver import Solver
+
+        tiny = Solver(max_conflicts=1)
+        x, y = intvar("x"), intvar("y")
+        # UNSAT but needs two theory conflicts to close: either disjunct
+        # contradicts x = y, so one blocking clause is not enough.
+        hard = conj(
+            disj(Comparison("<", x, y), Comparison(">", x, y)),
+            Comparison("=", x, y),
+        )
+        with pytest.raises(SolverLimitError):
+            tiny.is_satisfiable(hard)
+
+    def test_engine_rejects_bool_for_numeric(self, beers_catalog):
+        from repro.engine import Database
+
+        with pytest.raises(TypeError):
+            Database(beers_catalog, {"Serves": [("Joyce", "Bud", True)]})

@@ -1,0 +1,142 @@
+"""Tests for aggregate normalization and HAVING contexts (Appendix E)."""
+
+from repro.catalog import SqlType
+from repro.logic.formulas import Comparison
+from repro.logic.terms import AggCall, add, const, intvar, mul, sub
+from repro.solver.aggregates import (
+    HavingContext,
+    agg_scalar_var,
+    normalize_aggregate,
+    scalarize_formula,
+    scalarize_term,
+)
+
+X, Y = intvar("t.x"), intvar("t.y")
+
+
+class TestNormalization:
+    def test_sum_of_scaled_column(self, solver):
+        # SUM(x * 2) = 2 * SUM(x)
+        left, _ = scalarize_term(AggCall("SUM", mul(X, const(2))))
+        right, _ = scalarize_term(mul(const(2), AggCall("SUM", X)))
+        assert solver.terms_equal(left, right)
+
+    def test_sum_of_sum(self, solver):
+        # SUM(x + y) = SUM(x) + SUM(y)
+        left, _ = scalarize_term(AggCall("SUM", add(X, Y)))
+        right, _ = scalarize_term(add(AggCall("SUM", X), AggCall("SUM", Y)))
+        assert solver.terms_equal(left, right)
+
+    def test_sum_of_difference(self, solver):
+        left, _ = scalarize_term(AggCall("SUM", sub(X, Y)))
+        right, _ = scalarize_term(sub(AggCall("SUM", X), AggCall("SUM", Y)))
+        assert solver.terms_equal(left, right)
+
+    def test_sum_of_constant_is_count(self, solver):
+        # SUM(3) = 3 * COUNT(*)
+        left, _ = scalarize_term(AggCall("SUM", const(3)))
+        right, _ = scalarize_term(mul(const(3), AggCall("COUNT", None)))
+        assert solver.terms_equal(left, right)
+
+    def test_avg_shift(self, solver):
+        # AVG(x + 5) = AVG(x) + 5  (constant not multiplied by count)
+        left, _ = scalarize_term(AggCall("AVG", add(X, const(5))))
+        right, _ = scalarize_term(add(AggCall("AVG", X), const(5)))
+        assert solver.terms_equal(left, right)
+
+    def test_count_arg_is_count_star(self):
+        assert normalize_aggregate(AggCall("COUNT", X)) == AggCall("COUNT", None)
+
+    def test_count_distinct_not_collapsed(self):
+        normalized = normalize_aggregate(AggCall("COUNT", X, distinct=True))
+        assert isinstance(normalized, AggCall)
+        assert normalized.distinct
+
+    def test_min_positive_scaling(self, solver):
+        # MIN(2x + 1) = 2 MIN(x) + 1
+        left, _ = scalarize_term(
+            AggCall("MIN", add(mul(const(2), X), const(1)))
+        )
+        right, _ = scalarize_term(
+            add(mul(const(2), AggCall("MIN", X)), const(1))
+        )
+        assert solver.terms_equal(left, right)
+
+    def test_min_negative_scaling_flips_to_max(self, solver):
+        # MIN(-x) = -MAX(x)
+        left, _ = scalarize_term(AggCall("MIN", mul(const(-1), X)))
+        right, _ = scalarize_term(mul(const(-1), AggCall("MAX", X)))
+        assert solver.terms_equal(left, right)
+
+    def test_sum_distinct_blocks_linearity(self, solver):
+        left, _ = scalarize_term(AggCall("SUM", mul(X, const(2)), distinct=True))
+        right, _ = scalarize_term(
+            mul(const(2), AggCall("SUM", X, distinct=True))
+        )
+        assert not solver.terms_equal(left, right)
+
+    def test_scalar_var_types(self):
+        assert agg_scalar_var(AggCall("COUNT", None)).vtype == SqlType.INT
+        assert agg_scalar_var(AggCall("AVG", X)).vtype == SqlType.FLOAT
+        assert agg_scalar_var(AggCall("MAX", X)).vtype == SqlType.INT
+
+
+class TestScalarizeFormula:
+    def test_shape_preserved(self):
+        formula = Comparison(">", AggCall("SUM", X), const(10)) & Comparison(
+            "<", X, const(5)
+        )
+        scalar, aggs = scalarize_formula(formula)
+        assert type(scalar) is type(formula)
+        assert len(scalar.operands) == 2
+        assert aggs == {AggCall("SUM", X)}
+
+    def test_no_aggregates_is_identity(self):
+        formula = Comparison("=", X, Y)
+        scalar, aggs = scalarize_formula(formula)
+        assert scalar == formula
+        assert not aggs
+
+
+class TestHavingContext:
+    def test_count_at_least_one(self, solver):
+        context = HavingContext(Comparison(">", X, const(0)), []).build(set())
+        count = agg_scalar_var(AggCall("COUNT", None))
+        assert solver.is_unsatisfiable(Comparison("=", count, const(0)), context)
+
+    def test_witness_bounds_max(self, solver):
+        # WHERE x > 100 implies MAX(x) >= 101 over INT (paper Example 3).
+        where = Comparison(">", X, const(100))
+        aggs = {AggCall("MAX", X)}
+        context = HavingContext(where, []).build(aggs)
+        max_var = agg_scalar_var(AggCall("MAX", X))
+        assert solver.is_valid(Comparison(">=", max_var, const(101)), context)
+
+    def test_min_le_avg_le_max(self, solver):
+        where = Comparison(">", X, const(0))
+        aggs = {AggCall("AVG", X)}
+        context = HavingContext(where, []).build(aggs)
+        min_var = agg_scalar_var(AggCall("MIN", X))
+        avg_var = agg_scalar_var(AggCall("AVG", X))
+        max_var = agg_scalar_var(AggCall("MAX", X))
+        assert solver.is_valid(Comparison("<=", min_var, avg_var), context)
+        assert solver.is_valid(Comparison("<=", avg_var, max_var), context)
+
+    def test_group_vars_shared_with_where(self, solver):
+        # WHERE x = y with x grouped: the scalar x in HAVING obeys WHERE
+        # facts about grouped columns only through the witness rows.
+        where = Comparison(">", X, const(4)) & Comparison("=", X, Y)
+        context = HavingContext(where, [X]).build(set())
+        assert solver.is_valid(Comparison(">", X, const(4)), context)
+
+    def test_compound_group_term_constant_within_group(self, solver):
+        # GROUP BY x+y: the witness rows agree on the value of x+y.
+        where = Comparison(">", X, const(0))
+        group_term = add(X, Y)
+        ctx_builder = HavingContext(where, [group_term])
+        context = ctx_builder.build({AggCall("MIN", X)})
+        # The group value variable appears in the context.
+        names = set()
+        for fact in context:
+            names |= {v.name for v in fact.variables()}
+        assert any(name.startswith("group[") for name in names)

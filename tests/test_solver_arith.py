@@ -1,0 +1,135 @@
+"""Tests for the Fourier-Motzkin arithmetic theory solver."""
+
+from fractions import Fraction
+
+from repro.logic.linear import LinExpr, linearize
+from repro.logic.terms import add, const, floatvar, intvar, mul, sub
+from repro.solver.arith import Constraint, EQ, LE, LT, is_satisfiable
+
+
+def lin(term):
+    return linearize(term)
+
+
+def le(term):  # term <= 0
+    return Constraint(lin(term), LE)
+
+
+def lt(term):  # term < 0
+    return Constraint(lin(term), LT)
+
+
+def eq(term):  # term = 0
+    return Constraint(lin(term), EQ)
+
+
+X, Y, Z = intvar("x"), intvar("y"), intvar("z")
+F = floatvar("f")
+
+
+class TestFeasibility:
+    def test_empty_system_sat(self):
+        assert is_satisfiable([])
+
+    def test_single_bound_sat(self):
+        assert is_satisfiable([le(sub(X, const(5)))])  # x <= 5
+
+    def test_contradictory_bounds(self):
+        # x <= 0 and x >= 1  (written as 1 - x <= 0)
+        assert not is_satisfiable([le(X), le(sub(const(1), X))])
+
+    def test_strict_cycle_unsat(self):
+        # x < y and y < x
+        assert not is_satisfiable([lt(sub(X, Y)), lt(sub(Y, X))])
+
+    def test_transitive_chain(self):
+        # x < y, y < z, z < x is unsat; dropping one constraint is sat.
+        chain = [lt(sub(X, Y)), lt(sub(Y, Z)), lt(sub(Z, X))]
+        assert not is_satisfiable(chain)
+        assert is_satisfiable(chain[:2])
+
+    def test_equality_substitution(self):
+        # x = y, x <= 3, y >= 5 -> unsat
+        system = [
+            eq(sub(X, Y)),
+            le(sub(X, const(3))),
+            le(sub(const(5), Y)),
+        ]
+        assert not is_satisfiable(system)
+
+    def test_inconsistent_equalities(self):
+        # x = 1 and x = 2
+        assert not is_satisfiable([eq(sub(X, const(1))), eq(sub(X, const(2)))])
+
+    def test_scaled_equality(self):
+        # 2x = 4 and x = 3 -> unsat; 2x = 4 and x = 2 -> sat
+        assert not is_satisfiable(
+            [eq(sub(mul(const(2), X), const(4))), eq(sub(X, const(3)))]
+        )
+        assert is_satisfiable(
+            [eq(sub(mul(const(2), X), const(4))), eq(sub(X, const(2)))]
+        )
+
+
+class TestIntegerTightening:
+    def test_no_integer_between(self):
+        # 0 < x < 1 is unsat over INT variables.
+        assert not is_satisfiable([lt(sub(const(0), X)), lt(sub(X, const(1)))])
+
+    def test_rational_between_allowed_for_floats(self):
+        # 0 < f < 1 is sat over FLOAT variables.
+        assert is_satisfiable([lt(sub(const(0), F)), lt(sub(F, const(1)))])
+
+    def test_gt_100_implies_ge_101(self):
+        # x > 100 and x < 101 unsat over INT (the paper's Example 3 pattern).
+        assert not is_satisfiable(
+            [lt(sub(const(100), X)), lt(sub(X, const(101)))]
+        )
+
+    def test_non_integral_coeff_not_tightened(self):
+        # 0 < x/2 < 1/2 has no INT solution (x=1 gives exactly 1/2? no: x/2 < 1/2 -> x < 1),
+        # tightening applies after scaling: x > 0 and x < 1 -> unsat.
+        assert not is_satisfiable(
+            [
+                lt(sub(const(0), mul(X, const(Fraction(1, 2))))),
+                lt(sub(mul(X, const(Fraction(1, 2))), const(Fraction(1, 2)))),
+            ]
+        )
+
+
+class TestDisequalities:
+    def test_diseq_with_pinned_value(self):
+        # x = 1 and x != 1 -> unsat
+        assert not is_satisfiable([eq(sub(X, const(1)))], [lin(sub(X, const(1)))])
+
+    def test_diseq_with_room(self):
+        # x <= 5 and x != 5 -> sat
+        assert is_satisfiable([le(sub(X, const(5)))], [lin(sub(X, const(5)))])
+
+    def test_diseq_forced_by_squeeze(self):
+        # 1 <= x <= 1 and x != 1 -> unsat
+        system = [le(sub(X, const(1))), le(sub(const(1), X))]
+        assert not is_satisfiable(system, [lin(sub(X, const(1)))])
+
+    def test_diseq_between_vars(self):
+        # x = y and x != y -> unsat
+        assert not is_satisfiable([eq(sub(X, Y))], [lin(sub(X, Y))])
+
+    def test_constant_diseq(self):
+        assert is_satisfiable([], [LinExpr.of_const(3)])  # 3 != 0 holds
+        assert not is_satisfiable([], [LinExpr.of_const(0)])  # 0 != 0 fails
+
+    def test_multiple_independent_diseqs(self):
+        # x != 0, y != 0 with no other constraints: sat.
+        assert is_satisfiable([], [lin(X), lin(Y)])
+
+
+class TestTightenedConstraint:
+    def test_strict_integral_becomes_nonstrict(self):
+        c = Constraint(lin(sub(X, Y)), LT).tightened()
+        assert c.rel == LE
+        assert c.expr.constant == 1
+
+    def test_float_vars_not_tightened(self):
+        c = Constraint(lin(sub(F, const(1))), LT).tightened()
+        assert c.rel == LT

@@ -1,0 +1,105 @@
+"""Property-based tests: the SMT solver against brute-force evaluation.
+
+Random small formulas over bounded integer domains are checked: whenever
+the solver says UNSAT, exhaustive enumeration must find no model; whenever
+it says SAT and the formula is within the complete fragment, enumeration
+over a modest domain usually finds one (we only assert the sound
+direction, which is the one Qr-Hint's correctness relies on).
+"""
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.evaluate import eval_formula
+from repro.logic.formulas import Comparison, conj, disj, neg
+from repro.logic.terms import add, const, intvar
+from repro.solver import Solver
+
+VARS = [intvar("x"), intvar("y"), intvar("z")]
+OPS = ["=", "<>", "<", "<=", ">", ">="]
+
+atom_strategy = st.builds(
+    lambda op, vi, rhs_kind, vj, k: Comparison(
+        op,
+        VARS[vi],
+        VARS[vj] if rhs_kind else add(VARS[vj], const(k)) if k else const(k),
+    ),
+    st.sampled_from(OPS),
+    st.integers(0, 2),
+    st.booleans(),
+    st.integers(0, 2),
+    st.integers(-2, 2),
+)
+
+
+def formula_strategy(depth=2):
+    if depth == 0:
+        return atom_strategy
+    sub = formula_strategy(depth - 1)
+    return st.one_of(
+        atom_strategy,
+        st.builds(lambda a, b: conj(a, b), sub, sub),
+        st.builds(lambda a, b: disj(a, b), sub, sub),
+        st.builds(neg, sub),
+    )
+
+
+def brute_force_satisfiable(formula, domain=range(-3, 4)):
+    names = sorted({v.name for v in formula.variables()})
+    if not names:
+        return eval_formula(formula, {})
+    for values in itertools.product(domain, repeat=len(names)):
+        env = {n: Fraction(v) for n, v in zip(names, values)}
+        if eval_formula(formula, env):
+            return True
+    return False
+
+
+SOLVER = Solver()
+
+
+@settings(max_examples=150, deadline=None)
+@given(formula_strategy())
+def test_unsat_verdicts_are_sound(formula):
+    """If the solver reports UNSAT, brute force must find no model."""
+    if SOLVER.is_unsatisfiable(formula):
+        assert not brute_force_satisfiable(formula)
+
+
+@settings(max_examples=150, deadline=None)
+@given(formula_strategy())
+def test_brute_force_models_imply_sat(formula):
+    """If enumeration finds a model, the solver must agree it is SAT."""
+    if brute_force_satisfiable(formula):
+        assert SOLVER.is_satisfiable(formula)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formula_strategy(depth=1), formula_strategy(depth=1))
+def test_equivalence_agrees_with_brute_force(left, right):
+    """Solver equivalence implies pointwise agreement on a finite domain."""
+    if not SOLVER.is_equiv(left, right):
+        return
+    names = sorted(
+        {v.name for v in left.variables()} | {v.name for v in right.variables()}
+    )
+    for values in itertools.product(range(-3, 4), repeat=len(names)):
+        env = {n: Fraction(v) for n, v in zip(names, values)}
+        assert eval_formula(left, env) == eval_formula(right, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formula_strategy(depth=1))
+def test_negation_flips_validity(formula):
+    """valid(f) iff unsat(not f)."""
+    assert SOLVER.is_valid(formula) == SOLVER.is_unsatisfiable(neg(formula))
+
+
+@settings(max_examples=60, deadline=None)
+@given(formula_strategy(depth=1), formula_strategy(depth=1))
+def test_conjunction_unsat_propagates(left, right):
+    """If a conjunct is UNSAT, the conjunction must be too."""
+    if SOLVER.is_unsatisfiable(left):
+        assert SOLVER.is_unsatisfiable(conj(left, right))

@@ -1,0 +1,110 @@
+"""Tests for the DPLL SAT core and Tseitin encoding."""
+
+from repro.solver.sat import SatSolver, solve_cnf
+from repro.solver.tseitin import CnfBuilder, assert_skeleton, encode
+
+
+class TestSatSolver:
+    def test_trivially_sat(self):
+        assert solve_cnf([[1]]) == {1: True}
+
+    def test_trivially_unsat(self):
+        assert solve_cnf([[1], [-1]]) is None
+
+    def test_unit_propagation_chain(self):
+        # 1, 1->2, 2->3 forces all true.
+        model = solve_cnf([[1], [-1, 2], [-2, 3]])
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_requires_branching(self):
+        # (1 v 2) & (-1 v 2) & (1 v -2): models must have 2 true.
+        model = solve_cnf([[1, 2], [-1, 2], [1, -2]])
+        assert model[2] is True and model[1] is True
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: x1, x2, not both -> unsat with both forced.
+        assert solve_cnf([[1], [2], [-1, -2]]) is None
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        solver.add_clause([2])
+        assert solver.solve()[2] is True
+
+    def test_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1])[2] is True
+        assert solver.solve(assumptions=[-1, -2]) is None
+
+    def test_conflicting_assumptions(self):
+        solver = SatSolver()
+        solver.ensure_vars(1)
+        assert solver.solve(assumptions=[1, -1]) is None
+
+    def test_incremental_clause_addition(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        model = solver.solve()
+        assert model is not None
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() is None
+
+    def test_unconstrained_vars_default_false(self):
+        solver = SatSolver()
+        solver.ensure_vars(3)
+        solver.add_clause([1])
+        model = solver.solve()
+        assert model[2] is False and model[3] is False
+
+    def test_3sat_random_consistency(self):
+        # A small fixed 3-SAT instance with a known model.
+        clauses = [[1, 2, 3], [-1, -2, 3], [1, -3, 4], [-4, 2, -1], [-2, -3, -4]]
+        model = solve_cnf(clauses)
+        assert model is not None
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+class TestTseitin:
+    def _solve_skeleton(self, skeleton, num_lit_vars):
+        builder = CnfBuilder(num_vars=num_lit_vars)
+        assert_skeleton(skeleton, builder)
+        solver = SatSolver()
+        solver.ensure_vars(builder.num_vars)
+        for clause in builder.clauses:
+            solver.add_clause(clause)
+        return solver
+
+    def test_and_forces_children(self):
+        solver = self._solve_skeleton(("and", [("lit", 1), ("lit", 2)]), 2)
+        model = solver.solve()
+        assert model[1] and model[2]
+
+    def test_or_needs_one_child(self):
+        solver = self._solve_skeleton(("or", [("lit", 1), ("lit", 2)]), 2)
+        assert solver.solve(assumptions=[-1])[2] is True
+        assert solver.solve(assumptions=[-1, -2]) is None
+
+    def test_not_inverts(self):
+        solver = self._solve_skeleton(("not", ("lit", 1)), 1)
+        assert solver.solve()[1] is False
+
+    def test_nested_structure(self):
+        # (1 & 2) | (!1 & 3)
+        skeleton = (
+            "or",
+            [
+                ("and", [("lit", 1), ("lit", 2)]),
+                ("and", [("not", ("lit", 1)), ("lit", 3)]),
+            ],
+        )
+        solver = self._solve_skeleton(skeleton, 3)
+        assert solver.solve(assumptions=[1, -2]) is None
+        assert solver.solve(assumptions=[-1, 3]) is not None
+
+    def test_single_child_junction_passthrough(self):
+        builder = CnfBuilder(num_vars=1)
+        lit = encode(("and", [("lit", 1)]), builder)
+        assert lit == 1

@@ -1,0 +1,148 @@
+"""Tests for the SMT facade (the paper's three Z3 primitives)."""
+
+from repro.logic.formulas import Comparison, FALSE, TRUE, conj, disj, neg
+from repro.logic.terms import add, const, div, intvar, mul, strvar
+from repro.solver import Solver
+
+A, B, C = intvar("A"), intvar("B"), intvar("C")
+S, T = strvar("S"), strvar("T")
+
+
+def cmp(op, lhs, rhs):
+    return Comparison(op, lhs, rhs)
+
+
+class TestSatisfiability:
+    def test_true_and_false(self, solver):
+        assert solver.is_satisfiable(TRUE)
+        assert solver.is_unsatisfiable(FALSE)
+
+    def test_simple_atom(self, solver):
+        assert solver.is_satisfiable(cmp(">", A, const(0)))
+
+    def test_contradiction(self, solver):
+        f = cmp("<", A, B) & cmp("<", B, A)
+        assert solver.is_unsatisfiable(f)
+
+    def test_atom_and_negation(self, solver):
+        atom = cmp("=", A, B)
+        assert solver.is_unsatisfiable(atom & neg(atom))
+
+    def test_three_way_transitivity(self, solver):
+        f = cmp("<", A, B) & cmp("<", B, C) & cmp("<", C, A)
+        assert solver.is_unsatisfiable(f)
+
+    def test_boolean_structure(self, solver):
+        # (A>0 or A<0) and A=0 is unsat.
+        f = (cmp(">", A, const(0)) | cmp("<", A, const(0))) & cmp("=", A, const(0))
+        assert solver.is_unsatisfiable(f)
+
+    def test_context_constrains(self, solver):
+        context = [cmp(">", A, const(10))]
+        assert solver.is_unsatisfiable(cmp("<", A, const(5)), context)
+        assert solver.is_satisfiable(cmp("<", A, const(50)), context)
+
+
+class TestValidityAndEquivalence:
+    def test_excluded_middle(self, solver):
+        assert solver.is_valid(cmp("<=", A, B) | cmp(">", A, B))
+
+    def test_equiv_syntactic_variants(self, solver):
+        left = cmp("=", add(A, const(1)), add(B, const(1)))
+        right = cmp("=", A, B)
+        assert solver.is_equiv(left, right)
+
+    def test_equiv_scaled_inequality(self, solver):
+        left = cmp("<=", mul(const(2), A), mul(const(2), B))
+        right = cmp("<=", A, B)
+        assert solver.is_equiv(left, right)
+
+    def test_equiv_flipped_sides(self, solver):
+        assert solver.is_equiv(cmp("<", A, B), cmp(">", B, A))
+
+    def test_not_equiv(self, solver):
+        assert not solver.is_equiv(cmp("<", A, B), cmp("<=", A, B))
+
+    def test_integer_tightening_equiv(self, solver):
+        # A > 100 <=> A >= 101 over INT (paper Example 3's key inference).
+        assert solver.is_equiv(cmp(">", A, const(100)), cmp(">=", A, const(101)))
+
+    def test_equiv_under_context(self, solver):
+        # Under A = C: C > B+3 <=> A > B+3 (paper Example 10).
+        context = [cmp("=", A, C)]
+        assert solver.is_equiv(
+            cmp(">", C, add(B, const(3))),
+            cmp(">", A, add(B, const(3))),
+            context,
+        )
+
+    def test_transitivity_of_equality(self, solver):
+        # A=B and B=C entails A=C (Example 1's redundancy pattern).
+        f = cmp("=", A, B) & cmp("=", B, C)
+        assert solver.entails(f, cmp("=", A, C))
+
+    def test_entails_via_arithmetic(self, solver):
+        f = cmp("<=", A, B) & cmp("<=", B, div(C, const(2)))
+        assert solver.entails(f, cmp("<=", mul(const(2), A), C))
+
+    def test_in_bound(self, solver):
+        lower = cmp("=", A, const(5))
+        formula = cmp(">=", A, const(5))
+        upper = cmp(">=", A, const(0))
+        assert solver.in_bound(lower, formula, upper)
+        assert not solver.in_bound(formula, lower, upper)
+
+
+class TestTermsEqual:
+    def test_identical_terms(self, solver):
+        assert solver.terms_equal(A, A)
+
+    def test_arithmetic_identity(self, solver):
+        assert solver.terms_equal(add(A, A), mul(const(2), A))
+
+    def test_under_context(self, solver):
+        context = [cmp("=", A, B)]
+        assert solver.terms_equal(A, B, context)
+        assert not solver.terms_equal(A, B)
+
+    def test_type_mismatch(self, solver):
+        assert not solver.terms_equal(A, S)
+
+    def test_string_constants(self, solver):
+        assert solver.terms_equal(const("x"), const("x"))
+        assert not solver.terms_equal(const("x"), const("y"))
+
+
+class TestStrings:
+    def test_string_equality_chain(self, solver):
+        f = cmp("=", S, T) & cmp("=", T, const("Amy")) & cmp("<>", S, const("Amy"))
+        assert solver.is_unsatisfiable(f)
+
+    def test_like_consistent_with_equality(self, solver):
+        f = cmp("LIKE", S, const("Eve%")) & cmp("=", S, const("Evelyn"))
+        assert solver.is_satisfiable(f)
+
+    def test_like_inconsistent_with_equality(self, solver):
+        f = cmp("LIKE", S, const("Eve%")) & cmp("=", S, const("Adam"))
+        assert solver.is_unsatisfiable(f)
+
+    def test_wildcard_free_like_is_equality(self, solver):
+        assert solver.is_equiv(cmp("LIKE", S, const("Amy")), cmp("=", S, const("Amy")))
+
+    def test_not_like_everything_pattern(self, solver):
+        assert solver.is_unsatisfiable(cmp("NOT LIKE", S, const("%")))
+
+    def test_distinct_constants(self, solver):
+        assert solver.is_unsatisfiable(
+            cmp("=", S, const("a")) & cmp("=", S, const("b"))
+        )
+
+
+class TestCaching:
+    def test_repeat_call_hits_cache(self):
+        local = Solver()
+        f = cmp("<", A, B) & cmp("<", B, A)
+        assert local.is_unsatisfiable(f)
+        before = local.stats["cache_hits"]
+        assert local.is_unsatisfiable(f)
+        assert local.stats["cache_hits"] == before + 1

@@ -1,0 +1,88 @@
+"""Focused tests for the string theory (union-find equality + LIKE)."""
+
+from repro.logic.terms import Const, strvar
+from repro.solver.strings import UnionFind, check_strings
+
+S, T, U = strvar("s"), strvar("t"), strvar("u")
+AMY = Const.of("Amy")
+BOB = Const.of("Bob")
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind()
+        assert not uf.same(S, T)
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        uf.union(S, T)
+        assert uf.same(S, T)
+        assert uf.find(S) == uf.find(T)
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union(S, T)
+        uf.union(T, U)
+        assert uf.same(S, U)
+
+    def test_path_compression_stable(self):
+        uf = UnionFind()
+        for pair in [(S, T), (T, U)]:
+            uf.union(*pair)
+        root = uf.find(S)
+        assert uf.find(U) == root
+
+
+class TestCheckStrings:
+    def test_empty_is_sat(self):
+        assert check_strings([], [], [])
+
+    def test_equality_chain_with_conflicting_constants(self):
+        assert not check_strings(
+            [(S, AMY), (S, T), (T, BOB)], [], []
+        )
+
+    def test_consistent_constants(self):
+        assert check_strings([(S, AMY), (T, AMY)], [], [])
+
+    def test_disequality_of_same_class(self):
+        assert not check_strings([(S, T)], [(S, T)], [])
+
+    def test_disequality_of_equal_constants(self):
+        assert not check_strings([(S, AMY), (T, AMY)], [(S, T)], [])
+
+    def test_disequality_of_distinct_constants_ok(self):
+        assert check_strings([(S, AMY), (T, BOB)], [(S, T)], [])
+
+    def test_like_against_known_constant(self):
+        assert check_strings([(S, AMY)], [], [(S, "A%", True)])
+        assert not check_strings([(S, AMY)], [], [(S, "B%", True)])
+
+    def test_not_like_against_known_constant(self):
+        assert check_strings([(S, AMY)], [], [(S, "B%", False)])
+        assert not check_strings([(S, AMY)], [], [(S, "A%", False)])
+
+    def test_wildcard_free_like_binds_constant(self):
+        # s LIKE 'Amy' pins s to 'Amy'; s = 'Bob' then contradicts.
+        assert not check_strings([(S, BOB)], [], [(S, "Amy", True)])
+
+    def test_not_like_match_everything_pattern(self):
+        assert not check_strings([], [], [(S, "%", False)])
+        assert not check_strings([], [], [(S, "%%", False)])
+
+    def test_not_like_ordinary_pattern_sat(self):
+        assert check_strings([], [], [(S, "A%", False)])
+
+    def test_two_literal_patterns_conflict(self):
+        # Two wildcard-free LIKEs with different texts pin s two ways.
+        assert not check_strings([], [], [(S, "Amy", True), (S, "Bob", True)])
+
+    def test_like_propagates_through_equality(self):
+        # s = t, t = 'Amy', s LIKE 'B%' is unsat.
+        assert not check_strings(
+            [(S, T), (T, AMY)], [], [(S, "B%", True)]
+        )
+
+    def test_compatible_patterns_assumed_sat(self):
+        # Incomplete-but-sound: two overlapping wildcard patterns -> SAT.
+        assert check_strings([], [], [(S, "A%", True), (S, "%y", True)])

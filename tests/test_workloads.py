@@ -1,0 +1,228 @@
+"""Tests for the workload generators (Students+, Brass, TPC-H, DBLP)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.pipeline import QrHint
+from repro.sqlparser import parse_query
+from repro.workloads import beers, brass, dblp, tpch, userstudy
+from repro.workloads.inject import inject_errors
+
+
+class TestBeersWorkload:
+    def test_dataset_size_matches_paper(self):
+        # 306 supported wrong queries (Section 9, Students).
+        assert len(beers.students_dataset()) == 306
+
+    def test_per_question_counts_match_table4(self):
+        data = beers.students_dataset()
+        by_question = Counter(e.question for e in data)
+        assert by_question["a"] == 22
+        assert by_question["b"] == 123  # 126 minus 3 unsupported
+        assert by_question["c"] == 123  # 143 minus 20 unsupported
+        assert by_question["d1"] + by_question["d2"] == 38  # 50 minus 12
+
+    def test_clause_distribution_matches_table4(self):
+        data = beers.students_dataset()
+        where_b = sum(1 for e in data if e.question == "b" and e.clause == "WHERE")
+        assert where_b == 96
+
+    def test_all_queries_parse(self):
+        catalog = beers.catalog()
+        for entry in beers.students_dataset():
+            parse_query(entry.wrong_sql, catalog)
+            parse_query(entry.target_sql, catalog)
+
+    def test_wrong_queries_differ_from_targets(self):
+        for entry in beers.students_dataset():
+            assert entry.wrong_sql != entry.target_sql
+
+    def test_deterministic_given_seed(self):
+        a = beers.students_dataset(seed=3)
+        b = beers.students_dataset(seed=3)
+        assert [e.wrong_sql for e in a] == [e.wrong_sql for e in b]
+
+    def test_solutions_answer_questions(self):
+        assert set(beers.QUESTIONS) == {"a", "b", "c", "d1", "d2"}
+
+
+class TestBrassCatalog:
+    def test_43_issues_total(self):
+        assert len(brass.ISSUES) == 43
+
+    def test_support_partition_matches_table5(self):
+        # 25 supported / 18 unsupported.
+        assert len(brass.supported_issues()) == 25
+        assert len(brass.unsupported_issues()) == 18
+
+    def test_eleven_logical_errors(self):
+        assert len(brass.issues_by_handling(brass.LOGICAL)) == 11
+
+    def test_supported_examples_parse(self):
+        catalog = beers.catalog()
+        for issue in brass.supported_issues():
+            if issue.working_sql is None:
+                continue
+            parse_query(issue.working_sql, catalog)
+            parse_query(issue.reference_sql, catalog)
+
+    def test_handcrafted_pairs_two_per_issue(self):
+        pairs = brass.handcrafted_pairs()
+        counts = Counter(issue.number for issue, _, _ in pairs)
+        assert all(count == 2 for count in counts.values())
+
+    def test_logical_errors_are_flagged(self):
+        catalog = beers.catalog()
+        for issue in brass.issues_by_handling(brass.LOGICAL):
+            if issue.working_sql is None:
+                continue
+            report = QrHint(catalog, issue.reference_sql, issue.working_sql).run()
+            assert not report.all_passed, f"issue {issue.number} not flagged"
+
+    def test_style_correct_issues_stay_silent(self):
+        catalog = beers.catalog()
+        for issue in brass.issues_by_handling(brass.STYLE_OK):
+            if issue.working_sql is None:
+                continue
+            report = QrHint(catalog, issue.reference_sql, issue.working_sql).run()
+            assert report.all_passed, f"issue {issue.number} wrongly flagged"
+
+
+class TestTpchWorkload:
+    def test_conjunct_counts_match_paper(self):
+        # Atom counts 4,5,6,7,8,9,10,11 for the conjunctive set.
+        counts = [q.num_atoms for q in tpch.CONJUNCTIVE_QUERIES]
+        assert counts == [4, 5, 6, 7, 8, 9, 10, 11]
+
+    def test_declared_counts_are_accurate(self):
+        for query in tpch.CONJUNCTIVE_QUERIES:
+            resolved = query.resolve()
+            assert len(resolved.where.atoms()) == query.num_atoms, query.name
+
+    def test_q7_is_nested(self):
+        resolved = tpch.Q7_NESTED.resolve()
+        from repro.logic.formulas import Or
+
+        kinds = [type(node).__name__ for _, node in _walk(resolved.where)]
+        assert "Or" in kinds  # nested AND/OR structure
+
+    def test_q7_unique_atom_count(self, solver):
+        # The paper fixes 10 unique atomic predicates for the Figure 3 runs.
+        from repro.core.minfix import map_atom_preds
+
+        resolved = tpch.Q7_NESTED.resolve()
+        mapping = map_atom_preds([resolved.where], solver)
+        assert mapping.num_vars == 10
+
+    def test_all_queries_resolve(self):
+        for query in tpch.ALL_QUERIES:
+            resolved = query.resolve()
+            assert resolved.from_entries
+
+
+def _walk(formula):
+    from repro.logic.paths import all_paths
+
+    return all_paths(formula)
+
+
+class TestErrorInjection:
+    def test_injection_count(self):
+        predicate = tpch.Q5.resolve().where
+        injected = inject_errors(predicate, 2, seed=1)
+        assert len(injected.injections) == 2
+
+    def test_wrong_differs_from_correct(self, solver):
+        predicate = tpch.Q3.resolve().where
+        injected = inject_errors(predicate, 1, seed=5)
+        assert not solver.is_equiv(injected.wrong, injected.correct)
+
+    def test_ground_truth_repair_restores(self, solver):
+        predicate = tpch.Q10.resolve().where
+        injected = inject_errors(predicate, 2, seed=2)
+        repaired = injected.ground_truth_repair().apply(injected.wrong)
+        assert solver.is_equiv(repaired, injected.correct)
+
+    def test_deterministic(self):
+        predicate = tpch.Q4.resolve().where
+        a = inject_errors(predicate, 2, seed=9)
+        b = inject_errors(predicate, 2, seed=9)
+        assert str(a.wrong) == str(b.wrong)
+
+    def test_sites_disjoint(self):
+        predicate = tpch.Q21.resolve().where
+        injected = inject_errors(predicate, 4, seed=3)
+        from repro.logic.paths import paths_disjoint
+
+        assert paths_disjoint([inj.path for inj in injected.injections])
+
+    def test_too_many_errors_rejected(self):
+        predicate = tpch.Q4.resolve().where
+        with pytest.raises(ValueError):
+            inject_errors(predicate, 50, seed=0)
+
+    def test_ground_truth_cost_positive(self):
+        predicate = tpch.Q9.resolve().where
+        injected = inject_errors(predicate, 2, seed=4)
+        assert injected.ground_truth_cost() > 0
+
+
+class TestDblpWorkload:
+    def test_four_questions(self):
+        assert [q.qid for q in dblp.QUESTIONS] == ["Q1", "Q2", "Q3", "Q4"]
+
+    def test_queries_parse(self, dblp_catalog):
+        for question in dblp.QUESTIONS:
+            parse_query(question.correct_sql, dblp_catalog)
+            parse_query(question.wrong_sql, dblp_catalog)
+
+    def test_hint_sources(self):
+        q4 = dblp.QUESTIONS[3]
+        sources = {h.source for h in q4.hints}
+        assert sources == {"TA", "Qr-Hint"}
+
+    def test_error_clause_metadata(self):
+        assert dblp.QUESTIONS[0].error_clauses == ("WHERE", "WHERE")
+        assert dblp.QUESTIONS[1].error_clauses == ("GROUP BY", "SELECT")
+
+
+class TestUserStudySimulation:
+    def test_hints_help_on_q1(self):
+        q1 = dblp.QUESTIONS[0]
+        none = userstudy.simulate_identification(q1, "none", 200, seed=1)
+        hinted = userstudy.simulate_identification(q1, "qrhint", 200, seed=1)
+        assert hinted.at_least_one_rate > none.at_least_one_rate + 0.3
+
+    def test_hints_help_on_q2(self):
+        q2 = dblp.QUESTIONS[1]
+        none = userstudy.simulate_identification(q2, "none", 400, seed=2)
+        hinted = userstudy.simulate_identification(q2, "qrhint", 400, seed=2)
+        assert hinted.at_least_one_rate > none.at_least_one_rate
+
+    def test_qrhint_votes_mostly_helpful(self):
+        q4 = dblp.QUESTIONS[3]
+        by_source, _ = userstudy.simulate_votes(q4, 500, seed=3)
+        qr = by_source["Qr-Hint"]
+        assert qr.share("Helpful") > qr.share("Obvious")
+        assert qr.share("Helpful") > qr.share("Unhelpful")
+
+    def test_ta_votes_more_varied(self):
+        q4 = dblp.QUESTIONS[3]
+        by_source, _ = userstudy.simulate_votes(q4, 500, seed=4)
+        ta = by_source["TA"]
+        qr = by_source["Qr-Hint"]
+        assert ta.share("Helpful") < qr.share("Helpful")
+
+    def test_full_study_structure(self):
+        result = userstudy.run_full_study(participants_per_arm=10, seed=0)
+        assert set(result["identification"]) == {"Q1", "Q2"}
+        assert set(result["votes"]) == {"Q3", "Q4"}
+
+    def test_deterministic(self):
+        a = userstudy.run_full_study(participants_per_arm=5, seed=7)
+        b = userstudy.run_full_study(participants_per_arm=5, seed=7)
+        assert (
+            a["identification"]["Q1"]["none"].at_least_one
+            == b["identification"]["Q1"]["none"].at_least_one
+        )
