@@ -32,6 +32,19 @@ class TruthTable:
             raise ValueError(f"invalid output {value!r}")
         self.outputs[minterm] = value
 
+    def fill_stride(self, base, stride, value):
+        """Set every minterm in ``range(base, 2**num_vars, stride)``.
+
+        Bulk form of :meth:`set` for whole subtrees (a fixed low-bit prefix
+        with all high-bit completions); one dict update instead of a Python
+        loop of per-row calls.
+        """
+        if value not in (0, 1, DONT_CARE):
+            raise ValueError(f"invalid output {value!r}")
+        self.outputs.update(
+            dict.fromkeys(range(base, 1 << self.num_vars, stride), value)
+        )
+
     def output(self, minterm):
         return self.outputs.get(minterm, 0)
 

@@ -30,24 +30,33 @@ def prime_implicants(minterms, dont_cares, num_vars):
     while current:
         merged = set()
         next_level = set()
-        grouped = {}
-        for value, mask in current:
-            key = (mask, bin(value).count("1"))
-            grouped.setdefault(key, []).append((value, mask))
         by_mask = {}
         for value, mask in current:
             by_mask.setdefault(mask, set()).add(value)
-        for value, mask in current:
-            values = by_mask[mask]
-            for bit_index in range(num_vars):
-                bit = 1 << bit_index
-                if mask & bit:
+        for mask, values in by_mask.items():
+            # Two implicants merge only if they share a mask and differ in
+            # exactly one free bit, i.e. their popcounts differ by one.
+            # Group by popcount so each value only probes the next group,
+            # and hoist the free-bit list out of the inner loop.
+            free_bits = [
+                1 << b for b in range(num_vars) if not mask & (1 << b)
+            ]
+            by_count = {}
+            for value in values:
+                by_count.setdefault(bin(value).count("1"), set()).add(value)
+            for count, group in by_count.items():
+                partners = by_count.get(count + 1)
+                if not partners:
                     continue
-                partner = value ^ bit
-                if partner in values and (value & bit) == 0:
-                    merged.add((value, mask))
-                    merged.add((partner, mask))
-                    next_level.add((value & ~bit, mask | bit))
+                for value in group:
+                    for bit in free_bits:
+                        if value & bit:
+                            continue
+                        partner = value | bit
+                        if partner in partners:
+                            merged.add((value, mask))
+                            merged.add((partner, mask))
+                            next_level.add((value, mask | bit))
         primes |= current - merged
         current = next_level
     return sorted(primes)

@@ -21,6 +21,7 @@ from repro.catalog import Catalog
 from repro.core.pipeline import QrHint
 from repro.engine import appear_equivalent
 from repro.errors import ReproError
+from repro.solver import Solver
 from repro.sqlparser.rewrite import parse_query_extended
 
 
@@ -71,11 +72,25 @@ def build_parser():
         action="store_true",
         help="differentially verify the repaired query against the target",
     )
+    parser.add_argument(
+        "--solver-stats",
+        action="store_true",
+        help="print SAT/SMT solver counters (calls, cache hits, learned "
+        "clauses, propagations) after the run",
+    )
     return parser
+
+
+def _print_solver_stats(solver):
+    print()
+    print("Solver stats:")
+    for key in sorted(solver.stats):
+        print(f"  {key}: {solver.stats[key]}")
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    solver = Solver()
     try:
         catalog = load_catalog(args.schema)
         target = parse_query_extended(
@@ -90,6 +105,7 @@ def main(argv=None):
             working,
             max_sites=args.max_sites,
             optimized=not args.no_optimized,
+            solver=solver,
         ).run()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -97,6 +113,8 @@ def main(argv=None):
 
     if report.all_passed:
         print("The working query is already equivalent to the target.")
+        if args.solver_stats:
+            _print_solver_stats(solver)
         return 0
 
     for stage in report.stages:
@@ -116,7 +134,11 @@ def main(argv=None):
         )
         print(f"Differential verification: {'PASS' if ok else 'FAIL'}")
         if not ok:
+            if args.solver_stats:
+                _print_solver_stats(solver)
             return 1
+    if args.solver_stats:
+        _print_solver_stats(solver)
     return 0
 
 

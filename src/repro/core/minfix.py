@@ -84,24 +84,51 @@ class AtomMapping:
 
 
 def map_atom_preds(formulas, solver, context=()):
-    """``MapAtomPreds`` (Algorithm 5) over a collection of formulas."""
+    """``MapAtomPreds`` (Algorithm 5) over a collection of formulas.
+
+    Before paying for SMT equivalence checks, each atom is canonicalized
+    (:mod:`repro.solver.atoms`); syntactically distinct atoms with the same
+    canonical form merge into one variable without a solver call.  Only
+    canonical-form misses fall back to the pairwise ``is_equiv`` scan,
+    which can still discover context-dependent equivalences.
+    """
+    from repro.solver.atoms import CanonicalLiteral, canonicalize
+
     atoms = []
     polarity = {}
+    # canonical Atom -> (var_index, polarity of the canonical literal that
+    # is equivalent to atoms[var_index])
+    canon_index = {}
     for formula in formulas:
         for atom in formula.atoms():
             if atom in polarity:
                 continue
+            literal = canonicalize(atom)
+            if not isinstance(literal, CanonicalLiteral):
+                literal = None
             mapped = None
-            for i, representative in enumerate(atoms):
-                if solver.is_equiv(atom, representative, context):
-                    mapped = (i, True)
-                    break
-                if solver.is_equiv(atom, neg(representative), context):
-                    mapped = (i, False)
-                    break
+            if literal is not None:
+                hit = canon_index.get(literal.atom)
+                if hit is not None:
+                    index, rep_positive = hit
+                    mapped = (index, literal.positive == rep_positive)
+            if mapped is None:
+                for i, representative in enumerate(atoms):
+                    if solver.is_equiv(atom, representative, context):
+                        mapped = (i, True)
+                        break
+                    if solver.is_equiv(atom, neg(representative), context):
+                        mapped = (i, False)
+                        break
             if mapped is None:
                 atoms.append(atom)
                 mapped = (len(atoms) - 1, True)
+            if literal is not None:
+                index, positive = mapped
+                canon_index.setdefault(
+                    literal.atom,
+                    (index, literal.positive if positive else not literal.positive),
+                )
             polarity[atom] = mapped
     return AtomMapping(atoms, polarity)
 
@@ -132,8 +159,9 @@ def build_truth_table(mapping, lower, upper, solver, context=()):
 
     def dfs(index, assignment):
         if not checker.feasible_prefix(assignment, index):
-            for completion in range(2 ** (mapping.num_vars - index)):
-                table.set(assignment | (completion << index), DONT_CARE)
+            # Every completion of the infeasible prefix shares the low bits:
+            # the subtree is exactly range(assignment, 2**n, 2**index).
+            table.fill_stride(assignment, 1 << index, DONT_CARE)
             return
         if index == mapping.num_vars:
             record(assignment)
@@ -153,6 +181,18 @@ class _FeasibilityChecker:
         self.solver = solver
         self.context = tuple(context)
         self._literals = self._try_canonicalize()
+        self._context_prefix = None
+        self._atom_pairs = None
+        if self._literals is not None:
+            atom_literals, context_literals = self._literals
+            # Canonical-order the context once; per-prefix queries then just
+            # append atom literals in index order (the theory cache keys on
+            # a frozenset, so any fixed order is canonical).
+            self._context_prefix = tuple(sorted(context_literals, key=str))
+            self._atom_pairs = [
+                ((lit.atom, lit.positive), (lit.atom, not lit.positive))
+                for lit in atom_literals
+            ]
 
     def _try_canonicalize(self):
         from repro.logic.formulas import And as _And, BoolConst as _BoolConst
@@ -170,8 +210,7 @@ class _FeasibilityChecker:
             formula = pending.pop()
             if isinstance(formula, _BoolConst):
                 if not formula.value:
-                    context_literals = None
-                    break
+                    return None  # context unsatisfiable; slow path decides
                 continue
             if isinstance(formula, _And):
                 pending.extend(formula.operands)
@@ -190,15 +229,14 @@ class _FeasibilityChecker:
     def feasible_prefix(self, assignment, length):
         if self._literals is None:
             return self._feasible_slow(assignment, length)
-        atom_literals, context_literals = self._literals
-        literals = list(context_literals)
+        pairs = self._atom_pairs
+        literals = list(self._context_prefix)
         for i in range(length):
-            lit = atom_literals[i]
-            positive = bool(assignment & (1 << i))
-            literals.append((lit.atom, lit.positive == positive))
+            when_set, when_clear = pairs[i]
+            literals.append(when_set if assignment & (1 << i) else when_clear)
         if not literals:
             return True
-        return self.solver._theory_ok(tuple(sorted(literals, key=str)))
+        return self.solver._theory_ok(tuple(literals))
 
     def _feasible_slow(self, assignment, length):
         literals = []

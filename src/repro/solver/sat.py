@@ -1,132 +1,300 @@
-"""A small DPLL SAT solver over CNF clauses.
+"""An iterative CDCL-lite SAT solver over CNF clauses.
 
 Clauses are lists of non-zero integers; a positive integer ``v`` is the
-variable ``v``, a negative integer its negation (DIMACS convention).  The
-solver supports incremental clause addition, which the lazy SMT loop uses to
-add theory conflict clauses between calls.
+variable ``v``, a negative integer its negation (DIMACS convention).
 
-DPLL with unit propagation and a most-occurring-variable branching rule is
-entirely adequate here: propositional abstractions of SQL predicates have a
-few dozen variables at most.
+The engine replaces the original recursive DPLL with the machinery the lazy
+SMT loop actually needs to be fast:
+
+* **two-watched-literal propagation** -- each clause watches two of its
+  literals, so propagation touches only the clauses whose watch just became
+  false instead of rescanning the whole database per round;
+* **an explicit trail with decision levels** -- assignment order is a flat
+  list, backtracking pops a suffix; there is no Python recursion anywhere,
+  so solving never depends on the interpreter recursion limit;
+* **learned blocking clauses** -- every conflict records the negation of
+  the current decision sequence (the "last-decision cut"; true first-UIP
+  analysis is future work, see docs/solver.md).  After backtracking one
+  level the learned clause is unit and *propagates* the flipped branch, so
+  flips are consequences, not decisions, and later conflicts cut deeper;
+* **VSIDS-style branching** -- variables involved in recent conflicts get
+  their activity bumped and the bump grows geometrically, implemented as a
+  lazy max-heap tolerant of stale entries;
+* **phase saving** -- the last polarity of every variable is remembered and
+  used as the branch polarity, so successive models under an incremental
+  blocking-clause loop differ minimally (fewer theory checks upstream);
+* **incremental solving under assumptions** -- ``solve(assumptions)``
+  asserts assumptions as pseudo-decisions below the search, and the watch
+  lists, learned clauses, and saved phases all persist across calls.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+
+_ACTIVITY_DECAY = 0.95
+_ACTIVITY_LIMIT = 1e100
+
 
 class SatSolver:
-    """Incremental DPLL solver."""
+    """Incremental CDCL-lite solver (watched literals + learned clauses)."""
 
     def __init__(self):
-        self._clauses = []
+        self._clauses = []  # clause database; watched literals in slots 0/1
+        self._watches = {}  # literal -> clause indices watching it
         self._num_vars = 0
+        self._assign = {}  # var -> bool (current partial assignment)
+        self._trail = []  # assigned literals in assignment order
+        self._trail_lim = []  # trail length at the start of each level
+        self._qhead = 0  # propagation frontier into the trail
+        self._pending = []  # unit literals awaiting top-level propagation
+        self._unsat = False  # the database is unsatisfiable outright
+        self._activity = {}  # var -> VSIDS activity
+        self._act_inc = 1.0
+        self._heap = []  # lazy max-heap of (-activity, var)
+        self._phase = {}  # var -> saved polarity
+        self.stats = {
+            "solve_calls": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "conflicts": 0,
+            "learned_clauses": 0,
+        }
 
     @property
     def num_vars(self):
         return self._num_vars
 
     def new_var(self):
-        self._num_vars += 1
+        self.ensure_vars(self._num_vars + 1)
         return self._num_vars
 
     def ensure_vars(self, count):
-        self._num_vars = max(self._num_vars, count)
+        while self._num_vars < count:
+            self._num_vars += 1
+            heappush(self._heap, (0.0, self._num_vars))
+
+    # ------------------------------------------------------------------
+    # Clause addition
+    # ------------------------------------------------------------------
 
     def add_clause(self, literals):
-        """Add a clause; an empty clause makes the instance trivially UNSAT."""
+        """Add a clause; an empty clause makes the instance trivially UNSAT.
+
+        Clauses may be added between ``solve`` calls; the watch lists and
+        everything learned so far are kept.  The clause is simplified
+        against the permanent (level-0) assignment on the way in.
+        """
         clause = sorted(set(literals), key=abs)
-        for lit in clause:
-            self.ensure_vars(abs(lit))
-        # A clause containing both v and -v is a tautology.
         for i in range(len(clause) - 1):
             if clause[i] == -clause[i + 1]:
-                return
+                return  # tautology
+        for lit in clause:
+            self.ensure_vars(abs(lit))
+        self._backtrack(0)
+        simplified = []
+        for lit in clause:
+            value = self._assign.get(abs(lit))
+            if value is None:
+                simplified.append(lit)
+            elif value == (lit > 0):
+                return  # satisfied by a permanent assignment
+            # else: permanently false literal; drop it
+        if not simplified:
+            self._unsat = True
+        elif len(simplified) == 1:
+            self._pending.append(simplified[0])
+        else:
+            self._attach(simplified)
+
+    def _attach(self, clause):
+        index = len(self._clauses)
         self._clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(index)
+        self._watches.setdefault(clause[1], []).append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
 
     def solve(self, assumptions=()):
-        """Return a model as {var: bool}, or None if unsatisfiable."""
-        assignment = {}
-        for lit in assumptions:
-            var, value = abs(lit), lit > 0
-            if assignment.get(var, value) != value:
-                return None
-            assignment[var] = value
-        result = self._dpll(assignment)
-        if result is None:
+        """Return a model as {var: bool}, or None if unsatisfiable.
+
+        ``assumptions`` hold only for this call; clauses learned under them
+        include their negations, so everything learned stays valid for
+        every future call.
+        """
+        self.stats["solve_calls"] += 1
+        if self._unsat:
             return None
-        # Unconstrained variables default to False.
-        for var in range(1, self._num_vars + 1):
-            result.setdefault(var, False)
-        return result
-
-    def _dpll(self, assignment):
-        assignment = dict(assignment)
-        while True:
-            status, unit_lits = self._propagate(assignment)
-            if status == "conflict":
+        self._backtrack(0)
+        while self._pending:
+            if not self._enqueue(self._pending.pop()):
+                self._unsat = True
                 return None
-            if not unit_lits:
-                break
-            for lit in unit_lits:
-                assignment[abs(lit)] = lit > 0
-        branch_var = self._pick_branch(assignment)
-        if branch_var is None:
-            return assignment
-        for value in (True, False):
-            trial = dict(assignment)
-            trial[branch_var] = value
-            result = self._dpll(trial)
-            if result is not None:
-                return result
-        return None
+        if self._propagate() is not None:
+            self._unsat = True
+            return None
 
-    def _propagate(self, assignment):
-        units = []
-        for clause in self._clauses:
-            unassigned = None
-            satisfied = False
-            count_unassigned = 0
-            for lit in clause:
-                var = abs(lit)
-                if var in assignment:
-                    if assignment[var] == (lit > 0):
-                        satisfied = True
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+            value = self._assign.get(abs(lit))
+            if value is not None:
+                if value != (lit > 0):
+                    self._backtrack(0)
+                    return None
+                continue
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit)
+            if self._propagate() is not None:
+                # This assumption prefix is unsatisfiable; remember why.
+                self.stats["conflicts"] += 1
+                blocked = [-self._trail[pos] for pos in self._trail_lim]
+                self._backtrack(0)
+                self.stats["learned_clauses"] += 1
+                self.add_clause(blocked)
+                return None
+        return self._search(len(self._trail_lim))
+
+    def _search(self, num_assumptions):
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                for lit in conflict:
+                    self._bump(abs(lit))
+                if not self._resolve_conflict(num_assumptions):
+                    return None
+                continue
+            var = self._pick_branch()
+            if var is None:
+                model = {
+                    v: self._assign.get(v, False)
+                    for v in range(1, self._num_vars + 1)
+                }
+                self._phase.update(model)
+                self._backtrack(0)
+                return model
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(var if self._phase.get(var, False) else -var)
+
+    def _resolve_conflict(self, num_assumptions):
+        """Learn the decision cut and flip; False means UNSAT for this call."""
+        learned = [-self._trail[pos] for pos in self._trail_lim]
+        self.stats["learned_clauses"] += 1
+        for lit in learned:
+            self._bump(abs(lit))
+        self._act_inc /= _ACTIVITY_DECAY
+        level = len(learned)
+        if level <= num_assumptions:
+            # The conflict depends on assumptions alone (or on nothing).
+            self._backtrack(0)
+            if learned:
+                self.add_clause(learned)
+            else:
+                self._unsat = True
+            return False
+        self._backtrack(level - 1)
+        asserting = learned[-1]
+        if len(learned) >= 2:
+            # Watch the asserting literal and the deepest remaining decision.
+            self._attach([asserting, learned[-2]] + learned[:-2])
+        self._enqueue(asserting)
+        return True
+
+    # ------------------------------------------------------------------
+    # Propagation / trail
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, lit):
+        var = abs(lit)
+        value = self._assign.get(var)
+        if value is not None:
+            return value == (lit > 0)
+        self._assign[var] = lit > 0
+        self._trail.append(lit)
+        self.stats["propagations"] += 1
+        return True
+
+    def _propagate(self):
+        """Propagate until fixpoint; return a conflicting clause or None."""
+        assign = self._assign
+        clauses = self._clauses
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            false_lit = -self._trail[self._qhead]
+            self._qhead += 1
+            watchers = watches.get(false_lit)
+            if not watchers:
+                continue
+            kept = []
+            for position, ci in enumerate(watchers):
+                clause = clauses[ci]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                value = assign.get(abs(first))
+                if value is not None and value == (first > 0):
+                    kept.append(ci)  # satisfied by the other watch
+                    continue
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    v = assign.get(abs(other))
+                    if v is None or v == (other > 0):
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches.setdefault(other, []).append(ci)
                         break
                 else:
-                    unassigned = lit
-                    count_unassigned += 1
-            if satisfied:
-                continue
-            if count_unassigned == 0:
-                return "conflict", []
-            if count_unassigned == 1:
-                units.append(unassigned)
-        # Deduplicate; conflicting units become a conflict.
-        chosen = {}
-        for lit in units:
-            var = abs(lit)
-            if var in chosen and chosen[var] != (lit > 0):
-                return "conflict", []
-            chosen[var] = lit > 0
-        return "ok", [v if val else -v for v, val in chosen.items()]
+                    kept.append(ci)
+                    if value is None:
+                        self._enqueue(first)  # clause is unit
+                    else:
+                        kept.extend(watchers[position + 1:])
+                        watches[false_lit] = kept
+                        return clause  # both watches false: conflict
+            watches[false_lit] = kept
+        return None
 
-    def _pick_branch(self, assignment):
-        counts = {}
-        for clause in self._clauses:
-            satisfied = any(
-                abs(lit) in assignment and assignment[abs(lit)] == (lit > 0)
-                for lit in clause
-            )
-            if satisfied:
-                continue
-            for lit in clause:
-                var = abs(lit)
-                if var not in assignment:
-                    counts[var] = counts.get(var, 0) + 1
-        if counts:
-            return max(counts, key=counts.get)
-        for var in range(1, self._num_vars + 1):
-            if var not in assignment:
-                return None  # all remaining vars unconstrained
+    def _backtrack(self, level):
+        if len(self._trail_lim) <= level:
+            return
+        target = self._trail_lim[level]
+        for lit in reversed(self._trail[target:]):
+            var = abs(lit)
+            self._phase[var] = lit > 0
+            del self._assign[var]
+            heappush(self._heap, (-self._activity.get(var, 0.0), var))
+        del self._trail[target:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Branching heuristic
+    # ------------------------------------------------------------------
+
+    def _bump(self, var):
+        activity = self._activity.get(var, 0.0) + self._act_inc
+        self._activity[var] = activity
+        if activity > _ACTIVITY_LIMIT:
+            for v in self._activity:
+                self._activity[v] *= 1.0 / _ACTIVITY_LIMIT
+            self._act_inc *= 1.0 / _ACTIVITY_LIMIT
+            activity = self._activity[var]
+        if var not in self._assign:
+            heappush(self._heap, (-activity, var))
+
+    def _pick_branch(self):
+        heap = self._heap
+        assign = self._assign
+        while heap:
+            _, var = heappop(heap)
+            if var not in assign:
+                return var
+        for var in range(1, self._num_vars + 1):  # safety net
+            if var not in assign:
+                return var
         return None
 
 

@@ -45,7 +45,13 @@ class Solver:
         self.max_conflicts = max_conflicts
         self._sat_cache = {}
         self._theory_cache = {}
-        self.stats = {"sat_calls": 0, "theory_calls": 0, "cache_hits": 0}
+        self.stats = {
+            "sat_calls": 0,
+            "theory_calls": 0,
+            "cache_hits": 0,
+            "learned_clauses": 0,
+            "propagations": 0,
+        }
 
     # ------------------------------------------------------------------
     # Public primitives
@@ -103,40 +109,47 @@ class Solver:
     def _solve(self, formula):
         self.stats["sat_calls"] += 1
         atom_vars = {}  # Atom -> int propositional var
-        builder = CnfBuilder()
+        sat = SatSolver()
+        # Stream Tseitin clauses straight into the SAT core: no buffered
+        # clause list, and the core's watch lists are built exactly once.
+        builder = CnfBuilder(sink=sat.add_clause)
         skeleton = self._abstract(formula, atom_vars, builder)
         if skeleton is True:
             return SAT
         if skeleton is False:
             return UNSAT
 
-        sat = SatSolver()
-        sat.ensure_vars(builder.num_vars)
         assert_skeleton(skeleton, builder)
-        for clause in builder.clauses:
-            sat.add_clause(clause)
         sat.ensure_vars(builder.num_vars)
 
         var_to_atom = {var: atom for atom, var in atom_vars.items()}
-        for _ in range(self.max_conflicts):
-            model = sat.solve()
-            if model is None:
-                return UNSAT
-            literals = tuple(
-                (var_to_atom[var], model[var])
-                for var in sorted(var_to_atom)
-                if var in model
-            )
-            if self._theory_ok(literals):
-                return SAT
-            core = self._shrink_core(literals)
-            sat.add_clause(
-                [
-                    -(atom_vars[atom]) if positive else atom_vars[atom]
-                    for atom, positive in core
-                ]
-            )
-        raise SolverLimitError("exceeded conflict budget")
+        atom_var_order = sorted(var_to_atom)
+        try:
+            # One persistent incremental solver for the whole DPLL(T) loop:
+            # each theory-conflict clause is added in place, and the next
+            # solve() reuses the watch lists, every clause learned so far,
+            # and the saved phases (so successive models differ minimally
+            # and most theory checks hit the literal cache).
+            for _ in range(self.max_conflicts):
+                model = sat.solve()
+                if model is None:
+                    return UNSAT
+                literals = tuple(
+                    (var_to_atom[var], model[var]) for var in atom_var_order
+                )
+                if self._theory_ok(literals):
+                    return SAT
+                core = self._shrink_core(literals)
+                sat.add_clause(
+                    [
+                        -(atom_vars[atom]) if positive else atom_vars[atom]
+                        for atom, positive in core
+                    ]
+                )
+            raise SolverLimitError("exceeded conflict budget")
+        finally:
+            self.stats["learned_clauses"] += sat.stats["learned_clauses"]
+            self.stats["propagations"] += sat.stats["propagations"]
 
     def _theory_ok(self, literals):
         key = frozenset(literals)
@@ -147,18 +160,32 @@ class Solver:
         self._theory_cache[key] = result
         return result
 
-    def _shrink_core(self, literals):
-        """Deletion-based minimization of an inconsistent literal set."""
+    def _shrink_core(self, literals, max_stall=8):
+        """Deletion-based minimization of an inconsistent literal set.
+
+        Literals are dropped longest-payload-first: complex atoms are the
+        least likely to be essential to the conflict, so trying them first
+        shrinks the core fastest.  Once ``max_stall`` consecutive deletion
+        attempts fail the core has (almost certainly) stopped shrinking and
+        we accept it, cutting theory calls on large conflicts; any
+        inconsistent superset is still a sound blocking clause.
+        """
         core = list(literals)
         if len(core) > 24:  # too costly to shrink; block the full assignment
             return core
+        core.sort(key=lambda literal: len(str(literal[0])), reverse=True)
         i = 0
+        stall = 0
         while i < len(core):
             candidate = core[:i] + core[i + 1:]
             if candidate and not self._theory_ok(tuple(candidate)):
                 core = candidate
+                stall = 0
             else:
                 i += 1
+                stall += 1
+                if stall >= max_stall:
+                    break
         return core
 
     def _abstract(self, formula, atom_vars, builder):

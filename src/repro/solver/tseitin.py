@@ -12,17 +12,26 @@ from dataclasses import dataclass, field
 
 @dataclass
 class CnfBuilder:
-    """Accumulates CNF clauses and allocates auxiliary variables."""
+    """Accumulates CNF clauses and allocates auxiliary variables.
+
+    With a ``sink`` callable the builder streams each clause straight into
+    the consumer (typically ``SatSolver.add_clause``) instead of buffering
+    it, so the encoder and the solver share no intermediate clause list.
+    """
 
     num_vars: int = 0
     clauses: list = field(default_factory=list)
+    sink: object = None
 
     def new_var(self):
         self.num_vars += 1
         return self.num_vars
 
     def add(self, clause):
-        self.clauses.append(list(clause))
+        if self.sink is not None:
+            self.sink(clause)
+        else:
+            self.clauses.append(list(clause))
 
 
 # Skeleton node kinds, produced by the atom abstraction layer:
