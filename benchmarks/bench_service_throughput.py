@@ -1,0 +1,131 @@
+"""Throughput benchmark: batch grading vs. the one-shot CLI path.
+
+Simulates the paper's classroom scenario: a duplicate-heavy pile of
+userstudy-style submissions (one shared target, formatting/case/alias
+variants of the same wrong answers) graded two ways:
+
+* **sequential** -- the historic one-shot path, exactly what looping
+  ``repro hint`` per submission pays: fresh solver, target re-parsed,
+  full pipeline for every submission;
+* **batch** -- ``repro.service.grade_batch``: parse the target once,
+  dedupe submissions by canonical form, grade only the unique forms
+  (sharded across workers), serve the rest from the artifact cache.
+
+Asserts the two paths produce byte-identical hint output and that batch
+achieves >= 5x throughput, then writes ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.core.pipeline import QrHint
+from repro.service import grade_batch
+from repro.service.session import format_report
+from repro.solver import Solver
+from repro.sqlparser.rewrite import parse_query_extended
+from repro.workloads import dblp, userstudy
+
+OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_service.json"
+MIN_SPEEDUP = 5.0
+
+
+def one_shot(catalog, target_sql, submission_sql):
+    """The per-request work of the one-shot CLI path."""
+    target = parse_query_extended(target_sql, catalog)
+    working = parse_query_extended(submission_sql, catalog)
+    report = QrHint(catalog, target, working, solver=Solver()).run()
+    return format_report(report)
+
+
+def run_scenario(qid, count, seed, processes=None):
+    question = next(q for q in dblp.QUESTIONS if q.qid == qid)
+    catalog = dblp.catalog()
+    pool = userstudy.submission_pool(question, count=count, seed=seed)
+
+    started = time.perf_counter()
+    sequential = [one_shot(catalog, question.correct_sql, sql) for sql in pool]
+    sequential_seconds = time.perf_counter() - started
+
+    batch = grade_batch(
+        catalog, question.correct_sql, pool, processes=processes
+    )
+    batch_texts = [result.text() for result in batch.results]
+
+    identical = batch_texts == sequential
+    speedup = sequential_seconds / batch.elapsed if batch.elapsed else 0.0
+    return {
+        "question": qid,
+        "submissions": count,
+        "unique": batch.unique,
+        "processes": batch.processes,
+        "cache_hit_rate": batch.cache_hit_rate,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "batch_seconds": round(batch.elapsed, 4),
+        "sequential_qps": round(count / sequential_seconds, 2),
+        "batch_qps": round(batch.throughput, 2),
+        "speedup": round(speedup, 2),
+        "byte_identical": identical,
+        "solver": batch.solver_stats,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--count", type=int, default=200,
+                        help="submissions in the pile (default 200)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--processes", type=int, default=None)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="also run the expensive Q1 scenario (minutes, not seconds)",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = {}
+    for qid in ("Q4", "Q2"):
+        result = run_scenario(qid, args.count, args.seed, args.processes)
+        scenarios[qid] = result
+        print(f"{qid}: {result['submissions']} submissions "
+              f"({result['unique']} unique), sequential "
+              f"{result['sequential_seconds']}s vs batch "
+              f"{result['batch_seconds']}s -> {result['speedup']}x, "
+              f"cache hit-rate {result['cache_hit_rate']:.0%}, "
+              f"byte-identical={result['byte_identical']}")
+    if args.full:
+        result = run_scenario("Q1", max(20, args.count // 10), args.seed,
+                              args.processes)
+        scenarios["Q1"] = result
+        print(f"Q1 (full): {result['speedup']}x")
+
+    headline = scenarios["Q4"]
+    payload = {
+        "benchmark": "service_throughput",
+        "headline_speedup": headline["speedup"],
+        "cache_hit_rate": headline["cache_hit_rate"],
+        "byte_identical": all(s["byte_identical"] for s in scenarios.values()),
+        "scenarios": scenarios,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    if not payload["byte_identical"]:
+        print("FAIL: batch and sequential hint output differ", file=sys.stderr)
+        return 1
+    if headline["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {headline['speedup']}x < {MIN_SPEEDUP}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,12 @@ taxonomy matches Table 4 of the paper) through Qr-Hint, the way teaching
 staff would triage a homework submission pile: per-question statistics of
 which clause needed repair, sample hints, and throughput.
 
-Run with:  python examples/classroom_grading.py [--limit N]
+Run with:  python examples/classroom_grading.py [--limit N] [--batch]
+
+``--batch`` routes the pile through the service layer instead of the
+one-shot loop: one :class:`AssignmentSession` per question (target parsed
+once, persistent solver, artifact cache), which is how the HTTP service
+and ``repro grade-batch`` grade at scale.
 """
 
 import argparse
@@ -14,10 +19,33 @@ from collections import Counter, defaultdict
 
 from repro import QrHint
 from repro.engine import appear_equivalent
+from repro.service import AssignmentSession
 from repro.workloads import beers
 
 
-def main(limit=None, verify=False):
+def _iter_stage_outcomes(dataset, catalog, batch=False):
+    """Yield (entry, stage, passed, messages, report) per pipeline stage."""
+    if batch:
+        sessions = {}
+        for entry in dataset:
+            key = entry.target_sql
+            session = sessions.get(key)
+            if session is None:
+                session = sessions[key] = AssignmentSession(
+                    catalog, entry.target_sql
+                )
+            result = session.grade(entry.wrong_sql)
+            for stage, passed, hints in result.stage_hints:
+                yield entry, stage, passed, [h.message for h in hints], None
+    else:
+        for entry in dataset:
+            report = QrHint(catalog, entry.target_sql, entry.wrong_sql).run()
+            for stage in report.stages:
+                yield (entry, stage.stage, stage.passed,
+                       [h.message for h in stage.hints], report)
+
+
+def main(limit=None, verify=False, batch=False):
     catalog = beers.catalog()
     dataset = beers.students_dataset()
     if limit:
@@ -28,18 +56,17 @@ def main(limit=None, verify=False):
     sample_hints = {}
     started = time.perf_counter()
 
-    for entry in dataset:
-        report = QrHint(catalog, entry.target_sql, entry.wrong_sql).run()
-        for stage in report.stages:
-            if stage.passed:
-                continue
-            stage_hits[stage.stage] += 1
-            per_question[entry.question][stage.stage] += 1
-            sample_hints.setdefault(
-                (entry.question, stage.stage),
-                (entry.wrong_sql, [h.message for h in stage.hints]),
-            )
-        if verify:
+    for entry, stage, passed, messages, report in _iter_stage_outcomes(
+        dataset, catalog, batch=batch
+    ):
+        if passed:
+            continue
+        stage_hits[stage] += 1
+        per_question[entry.question][stage] += 1
+        sample_hints.setdefault(
+            (entry.question, stage), (entry.wrong_sql, messages)
+        )
+        if verify and report is not None:
             assert appear_equivalent(
                 report.final_query, report.target_query, catalog, trials=20
             ), entry.wrong_sql
@@ -71,6 +98,10 @@ if __name__ == "__main__":
     parser.add_argument("--limit", type=int, default=None,
                         help="only grade the first N submissions")
     parser.add_argument("--verify", action="store_true",
-                        help="differentially verify every repaired query")
+                        help="differentially verify every repaired query "
+                             "(one-shot mode only)")
+    parser.add_argument("--batch", action="store_true",
+                        help="grade through the service layer (cached "
+                             "per-question sessions)")
     args = parser.parse_args()
-    main(args.limit, args.verify)
+    main(args.limit, args.verify, args.batch)

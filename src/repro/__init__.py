@@ -18,7 +18,7 @@ Quickstart::
 """
 
 from repro.catalog import Catalog, Column, SqlType, Table
-from repro.core.pipeline import QrHint, Report, StageResult
+from repro.core.pipeline import QrHint, Report, StageResult, grade
 from repro.core.where_repair import repair_where
 from repro.engine import Database, appear_equivalent, execute
 from repro.query import ResolvedQuery
@@ -40,6 +40,7 @@ __all__ = [
     "Table",
     "appear_equivalent",
     "execute",
+    "grade",
     "parse_query",
     "repair_where",
 ]

@@ -1,10 +1,19 @@
-"""Command-line interface: hint a wrong query against a reference query.
+"""Command-line interface: hint, batch-grade, or serve.
 
-Usage::
+Subcommands::
 
-    python -m repro --schema schema.json --target target.sql --working wrong.sql
-    python -m repro --schema schema.json --target-sql "SELECT ..." \
-                    --working-sql "SELECT ..." --show-fixes
+    repro hint --schema schema.json --target target.sql --working wrong.sql
+    repro grade-batch --schema schema.json --target target.sql \
+                      --submissions subs.json --processes 4
+    repro grade-batch --workload userstudy --question Q4 --count 200
+    repro serve --port 8100 [--schema schema.json --target target.sql]
+
+``hint`` is the default: invocations that start with a flag (the historic
+one-shot interface, ``python -m repro --schema ... --working ...``) are
+routed to it unchanged.
+
+Exit codes: ``0`` success, ``1`` differential verification failed,
+``2`` parse/resolution (or other pipeline) error.
 
 The schema file maps table names to [name, type] column pairs::
 
@@ -24,13 +33,20 @@ from repro.errors import ReproError
 from repro.solver import Solver
 from repro.sqlparser.rewrite import parse_query_extended
 
+EXIT_OK = 0
+EXIT_VERIFY_FAILED = 1
+EXIT_ERROR = 2
+
+COMMANDS = ("hint", "grade-batch", "serve")
+
 
 def load_catalog(path):
     with open(path) as handle:
         spec = json.load(handle)
-    return Catalog.from_spec(
-        {table: [tuple(col) for col in columns] for table, columns in spec.items()}
-    )
+    try:
+        return Catalog.from_spec(spec)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"invalid schema {path}: {error}")
 
 
 def _read_sql(args, file_attr, inline_attr, label):
@@ -39,9 +55,17 @@ def _read_sql(args, file_attr, inline_attr, label):
         return inline
     path = getattr(args, file_attr)
     if not path:
-        raise SystemExit(f"either --{label} or --{label}-sql is required")
+        raise ValueError(f"either --{label} or --{label}-sql is required")
     with open(path) as handle:
         return handle.read()
+
+
+def _add_schema_target_args(parser, schema_required=True):
+    parser.add_argument(
+        "--schema", required=schema_required, help="schema JSON file"
+    )
+    parser.add_argument("--target", help="file with the reference query")
+    parser.add_argument("--target-sql", help="reference query inline")
 
 
 def build_parser():
@@ -49,47 +73,114 @@ def build_parser():
         prog="repro",
         description="Qr-Hint: actionable hints for fixing a wrong SQL query.",
     )
-    parser.add_argument("--schema", required=True, help="schema JSON file")
-    parser.add_argument("--target", help="file with the reference query")
-    parser.add_argument("--target-sql", help="reference query inline")
-    parser.add_argument("--working", help="file with the wrong query")
-    parser.add_argument("--working-sql", help="wrong query inline")
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hint = sub.add_parser(
+        "hint", help="hint one wrong query against a reference query (default)"
+    )
+    _add_schema_target_args(hint)
+    hint.add_argument("--working", help="file with the wrong query")
+    hint.add_argument("--working-sql", help="wrong query inline")
+    hint.add_argument(
         "--show-fixes",
         action="store_true",
         help="also print the internal fixes (normally withheld from students)",
     )
-    parser.add_argument(
+    hint.add_argument(
         "--max-sites", type=int, default=2, help="repair-site cap (default 2)"
     )
-    parser.add_argument(
+    hint.add_argument(
         "--no-optimized",
         action="store_true",
         help="use plain DeriveFixes instead of DeriveFixesOPT",
     )
-    parser.add_argument(
+    hint.add_argument(
         "--verify",
         action="store_true",
         help="differentially verify the repaired query against the target",
     )
-    parser.add_argument(
+    hint.add_argument(
         "--solver-stats",
         action="store_true",
-        help="print SAT/SMT solver counters (calls, cache hits, learned "
+        help="print SAT/SMT solver counters (calls, cache hit-rate, learned "
         "clauses, propagations) after the run",
     )
+    hint.set_defaults(func=cmd_hint)
+
+    batch = sub.add_parser(
+        "grade-batch",
+        help="grade a pile of submissions against one shared target",
+    )
+    _add_schema_target_args(batch, schema_required=False)
+    batch.add_argument(
+        "--submissions",
+        help="submissions file: JSON list of SQL strings, or JSONL with "
+        "one SQL string (or {\"sql\": ...} object) per line",
+    )
+    batch.add_argument(
+        "--workload",
+        choices=("userstudy",),
+        help="generate submissions from a built-in workload instead of a file",
+    )
+    batch.add_argument(
+        "--question", default="Q4",
+        help="userstudy question id for --workload (default Q4)",
+    )
+    batch.add_argument(
+        "--count", type=int, default=200,
+        help="number of generated submissions for --workload (default 200)",
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes (default: cpu count; 1 = serial)",
+    )
+    batch.add_argument(
+        "--max-sites", type=int, default=2, help="repair-site cap (default 2)"
+    )
+    batch.add_argument(
+        "--show-hints", action="store_true",
+        help="print the hint block for every submission",
+    )
+    batch.add_argument("--json", dest="json_out", help="write results JSON here")
+    batch.set_defaults(func=cmd_grade_batch)
+
+    serve = sub.add_parser("serve", help="run the HTTP hint service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100)
+    serve.add_argument(
+        "--schema", help="optionally preload an assignment from this schema"
+    )
+    serve.add_argument("--target", help="file with the preloaded target query")
+    serve.add_argument("--target-sql", help="preloaded target query inline")
+    serve.add_argument(
+        "--assignment-id", default="default",
+        help="id for the preloaded assignment (default: 'default')",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress access log")
+    serve.set_defaults(func=cmd_serve)
+
     return parser
 
 
+# ----------------------------------------------------------------------
+# hint (the historic one-shot path)
+# ----------------------------------------------------------------------
+
+
 def _print_solver_stats(solver):
+    snapshot = solver.stats_snapshot()
     print()
     print("Solver stats:")
-    for key in sorted(solver.stats):
-        print(f"  {key}: {solver.stats[key]}")
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        if isinstance(value, float):
+            print(f"  {key}: {value:.3f}")
+        else:
+            print(f"  {key}: {value}")
 
 
-def main(argv=None):
-    args = build_parser().parse_args(argv)
+def cmd_hint(args):
     solver = Solver()
     try:
         catalog = load_catalog(args.schema)
@@ -107,39 +198,158 @@ def main(argv=None):
             optimized=not args.no_optimized,
             solver=solver,
         ).run()
-    except ReproError as error:
+    except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
-    if report.all_passed:
-        print("The working query is already equivalent to the target.")
-        if args.solver_stats:
-            _print_solver_stats(solver)
-        return 0
+    from repro.service.session import format_report
 
-    for stage in report.stages:
-        if stage.passed:
-            continue
-        print(f"[{stage.stage}]")
-        for hint in stage.hints:
-            print(f"  - {hint.message}")
-            if args.show_fixes and hint.fix:
-                print(f"    fix: {hint.site}  ->  {hint.fix}")
-    print()
-    print("Query after applying all repairs:")
-    print(f"  {report.final_query.to_sql()}")
-    if args.verify:
+    code = EXIT_OK
+    print(format_report(report, show_fixes=args.show_fixes))
+    if args.verify and not report.all_passed:
         ok = appear_equivalent(
             report.final_query, report.target_query, catalog, trials=60
         )
         print(f"Differential verification: {'PASS' if ok else 'FAIL'}")
         if not ok:
-            if args.solver_stats:
-                _print_solver_stats(solver)
-            return 1
+            code = EXIT_VERIFY_FAILED
+    # Stats are printed in exactly one place, whatever the exit path.
     if args.solver_stats:
         _print_solver_stats(solver)
-    return 0
+    return code
+
+
+# ----------------------------------------------------------------------
+# grade-batch
+# ----------------------------------------------------------------------
+
+
+def _load_submissions(path):
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        items = json.loads(text)
+    else:  # JSONL
+        items = [json.loads(line) for line in text.splitlines() if line.strip()]
+    submissions = []
+    for item in items:
+        if isinstance(item, str):
+            submissions.append(item)
+        elif isinstance(item, dict) and isinstance(item.get("sql"), str):
+            submissions.append(item["sql"])
+        else:
+            raise ValueError(f"unsupported submission entry: {item!r}")
+    return submissions
+
+
+def cmd_grade_batch(args):
+    from repro.service.batch import GradeError, grade_batch
+    from repro.service.session import format_grade_lines
+
+    if args.workload == "userstudy":
+        from repro.workloads import dblp, userstudy
+
+        catalog = dblp.catalog()
+        question = next(
+            (q for q in dblp.QUESTIONS if q.qid == args.question), None
+        )
+        if question is None:
+            print(f"error: unknown userstudy question {args.question!r}",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        target_sql = question.correct_sql
+        submissions = userstudy.submission_pool(
+            question, count=args.count, seed=args.seed
+        )
+    else:
+        if not args.schema or not args.submissions:
+            print("error: grade-batch needs either --workload or "
+                  "--schema/--target/--submissions", file=sys.stderr)
+            return EXIT_ERROR
+        try:
+            catalog = load_catalog(args.schema)
+            target_sql = _read_sql(args, "target", "target_sql", "target")
+            submissions = _load_submissions(args.submissions)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_ERROR
+
+    try:
+        batch = grade_batch(
+            catalog,
+            target_sql,
+            submissions,
+            processes=args.processes,
+            max_sites=args.max_sites,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    stats = batch.stats()
+    print(f"Graded {stats['submissions']} submissions "
+          f"({stats['unique']} unique, {stats['errors']} errors) "
+          f"in {stats['elapsed']:.2f}s "
+          f"({stats['throughput']:.1f}/s, "
+          f"cache hit-rate {stats['cache_hit_rate']:.0%})")
+    if args.show_hints:
+        for i, result in enumerate(batch.results):
+            print(f"\n--- submission {i} ---")
+            if isinstance(result, GradeError):
+                print(f"error: {result.error}")
+            else:
+                print("\n".join(format_grade_lines(result)))
+    if args.json_out:
+        payload = {
+            "stats": stats,
+            "results": [
+                {"error": r.error, "kind": r.kind}
+                if isinstance(r, GradeError)
+                else r.to_dict()
+                for r in batch.results
+            ],
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+
+
+def cmd_serve(args):
+    from repro.service.server import HintService, serve
+
+    service = HintService()
+    if args.schema:
+        try:
+            catalog = load_catalog(args.schema)
+            target_sql = _read_sql(args, "target", "target_sql", "target")
+            session = service.create_assignment(
+                catalog, target_sql, assignment_id=args.assignment_id
+            )
+        except (ReproError, OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"preloaded assignment {session.assignment_id!r}")
+    return serve(args.host, args.port, service, quiet=args.quiet)
+
+
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: flag-first invocations are the historic
+    # one-shot interface and route to the ``hint`` subcommand.
+    if argv and argv[0] not in COMMANDS and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "hint")
+    args = build_parser().parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -52,9 +52,15 @@ class StageResult:
 
 @dataclass
 class Report:
-    """Full pipeline outcome."""
+    """Full pipeline outcome.
 
-    stages: list
+    Reports are cache-safe: ``run()`` freezes the stage list and each
+    stage's hints into tuples, so a report memoized by the service layer
+    (``repro.service``) can be shared across threads and pickled to batch
+    workers without aliasing mutable state.
+    """
+
+    stages: tuple
     final_query: ResolvedQuery
     target_query: ResolvedQuery
     elapsed: float
@@ -252,10 +258,25 @@ class QrHint:
         result.query_after = working
         stages.append(result)
 
+        for result in stages:
+            result.hints = tuple(result.hints)
         return Report(
-            stages=stages,
+            stages=tuple(stages),
             final_query=working,
             target_query=target,
             elapsed=time.perf_counter() - start,
         )
+
+
+def grade(catalog, target, working, **options):
+    """Side-effect-free one-call entry point: grade one submission.
+
+    ``target`` and ``working`` may be SQL text or resolved queries;
+    ``options`` are forwarded to :class:`QrHint` (``max_sites``,
+    ``optimized``, ``solver``, ``weight``).  Returns the frozen
+    :class:`Report`.  Long-lived callers should prefer
+    :class:`repro.service.AssignmentSession`, which reuses the target
+    parse, the solver, and memoized reports across submissions.
+    """
+    return QrHint(catalog, target, working, **options).run()
 

@@ -19,7 +19,10 @@ from repro.logic.terms import AggCall
 def cross_product(query, database):
     """``F(Q)``: the bag of joined environments over the FROM tables.
 
-    Each environment maps ``alias.column`` to a value.
+    Each environment maps ``alias.column`` to a value.  Environments are
+    *streamed* (this is a generator): the cross product over k tables is
+    |T1| x ... x |Tk| environments, and materializing it dominates memory
+    on the TPC-H stress runs.  Only the per-table row lists are held.
     """
     per_alias = []
     for entry in query.from_entries:
@@ -29,22 +32,20 @@ def cross_product(query, database):
             for row in rows
         ]
         per_alias.append(alias_rows)
-    environments = []
     for combo in itertools.product(*per_alias):
         env = {}
         for part in combo:
             env.update(part)
-        environments.append(env)
-    return environments
+        yield env
 
 
 def filtered_rows(query, database):
-    """``FW(Q)``: cross product filtered by the WHERE condition."""
-    return [
+    """``FW(Q)``: cross product filtered by the WHERE condition (streamed)."""
+    return (
         env
         for env in cross_product(query, database)
         if eval_formula(query.where, env)
-    ]
+    )
 
 
 def grouped_rows(query, database):
@@ -57,6 +58,7 @@ def grouped_rows(query, database):
     rows = filtered_rows(query, database)
     if not query.group_by:
         if _has_agg(query):
+            rows = list(rows)
             return [((), rows)] if rows else []
         return [((i,), [env]) for i, env in enumerate(rows)]
     groups = {}

@@ -1,0 +1,44 @@
+"""Service layer: long-lived grading sessions, caching, batching, HTTP.
+
+The paper's headline use case is classroom grading: many students submit
+wrong queries against the *same* reference query.  The one-shot CLI pays
+full parse/resolve/solver cost per submission; this package amortizes it:
+
+* :mod:`repro.service.session` -- an :class:`AssignmentSession` parses the
+  target once and reuses one persistent :class:`~repro.solver.Solver`
+  (learned clauses, literal caches) across every submission.
+* :mod:`repro.service.cache` -- a bounded LRU artifact cache keyed by the
+  canonical (alias-renamed) form of the submission, so identical and
+  alpha-equivalent wrong answers are served memoized reports.
+* :mod:`repro.service.batch` -- a multiprocessing batch grader that shards
+  the *unique* canonical submissions across workers and merges solver
+  statistics.
+* :mod:`repro.service.server` -- a stdlib ``ThreadingHTTPServer`` JSON API
+  (``POST /assignments``, ``POST /grade``, ``GET /stats``).
+"""
+
+from repro.service.batch import BatchResult, GradeError, grade_batch
+from repro.service.cache import ArtifactCache, canonical_key, canonicalize
+from repro.service.session import AssignmentSession, GradeResult, format_report
+from repro.service.server import (
+    HintRequestHandler,
+    HintService,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "AssignmentSession",
+    "BatchResult",
+    "GradeError",
+    "GradeResult",
+    "HintRequestHandler",
+    "HintService",
+    "canonical_key",
+    "canonicalize",
+    "format_report",
+    "grade_batch",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,236 @@
+"""Multiprocessing batch grader: shard unique submissions across workers.
+
+Classroom piles are duplicate-heavy, so the batch grader splits grading
+into a cheap front half and an expensive back half:
+
+1. the parent parses + canonicalizes every submission (sub-millisecond
+   each) and groups them by canonical form;
+2. only the *unique* canonical queries are graded -- sharded across a
+   process pool, each worker holding a persistent
+   :class:`~repro.service.session.AssignmentSession` (one target parse,
+   one warm solver per worker);
+3. the parent seeds its own session cache with the worker reports and
+   serves every submission from it, so per-submission results come out in
+   input order, in each submitter's alias namespace, and byte-identical
+   to a sequential run.
+
+Per-worker solver counter deltas are merged into the batch statistics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.service.session import AssignmentSession, _counter_delta
+
+
+@dataclass(frozen=True)
+class GradeError:
+    """A submission that failed to parse/resolve; grading was skipped."""
+
+    submission_sql: str
+    error: str
+    kind: str  # exception class name, e.g. "ParseError"
+
+# Worker-process state, created once per worker by ``_init_worker``.
+_WORKER_SESSION = None
+
+
+def _init_worker(catalog, target, max_sites, optimized):
+    global _WORKER_SESSION
+    _WORKER_SESSION = AssignmentSession(
+        catalog, target, max_sites=max_sites, optimized=optimized
+    )
+
+
+def _grade_unique(canonical):
+    """Grade one canonical query in a worker.
+
+    Returns ``(report_or_None, error_or_None, solver_delta)``.  Pipeline
+    failures (e.g. ``RepairError`` when no viable repair exists under the
+    site cap) are captured per-submission, never raised: one unrepairable
+    query must not abort the rest of the pile.
+    """
+    session = _WORKER_SESSION
+    before = session.solver.stats_snapshot()
+    report, error = None, None
+    try:
+        report = session.grade_canonical(canonical)
+    except ReproError as exc:
+        error = (str(exc), type(exc).__name__)
+    after = session.solver.stats_snapshot()
+    return report, error, _counter_delta(after, before)
+
+
+def _merge_counters(total, delta):
+    for key, value in delta.items():
+        if isinstance(value, int):
+            total[key] = total.get(key, 0) + value
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch grading run."""
+
+    results: list  # GradeResult | GradeError per submission, input order
+    elapsed: float
+    unique: int  # distinct canonical forms attempted
+    processes: int
+    unique_failed: int = 0  # canonical forms whose pipeline run failed
+    solver_stats: dict = field(default_factory=dict)
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def submissions(self):
+        return len(self.results)
+
+    @property
+    def errors(self):
+        return sum(1 for r in self.results if isinstance(r, GradeError))
+
+    @property
+    def throughput(self):
+        return self.submissions / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def cache_hit_rate(self):
+        """Share of graded submissions served without a pipeline run.
+
+        Only *successfully* graded forms count on either side: failed
+        forms appear in ``unique`` but none of their submissions are
+        graded, so they must not skew the ratio.
+        """
+        graded = self.submissions - self.errors
+        if not graded:
+            return 0.0
+        return max(0.0, 1.0 - (self.unique - self.unique_failed) / graded)
+
+    def stats(self):
+        return {
+            "submissions": self.submissions,
+            "unique": self.unique,
+            "errors": self.errors,
+            "processes": self.processes,
+            "elapsed": self.elapsed,
+            "throughput": self.throughput,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache": self.cache_stats,
+            "solver": self.solver_stats,
+        }
+
+
+def _pool_context():
+    # fork keeps the parsed catalog shared copy-on-write where available.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def grade_batch(
+    catalog,
+    target,
+    submissions,
+    *,
+    processes=None,
+    max_sites=2,
+    optimized=True,
+    session=None,
+):
+    """Grade ``submissions`` (SQL strings) against one shared ``target``.
+
+    ``processes=None`` picks ``min(cpu_count, unique forms)``; ``0`` or
+    ``1`` grades serially in-process (same results, no pool).  Pass an
+    existing ``session`` to reuse its cache across batches.
+    """
+    start = time.perf_counter()
+    if session is None:
+        session = AssignmentSession(
+            catalog, target, max_sites=max_sites, optimized=optimized,
+            cache_size=max(256, 2 * len(submissions) + 1),
+        )
+
+    # Front half: dedupe by canonical form (cheap, stays in the parent).
+    prepared = []
+    unique = {}
+    for sql in submissions:
+        try:
+            canonical, inverse = session.prepare(sql)
+        except ReproError as error:
+            prepared.append(GradeError(sql, str(error), type(error).__name__))
+            continue
+        prepared.append((canonical, inverse))
+        if canonical not in unique and canonical not in session.cache:
+            unique[canonical] = None
+    # A caller-supplied session may have a smaller cache than this pile
+    # has forms; grow it so every form referenced here (seeded now or
+    # already cached) survives until the serve loop.
+    distinct_forms = {
+        entry[0] for entry in prepared if not isinstance(entry, GradeError)
+    }
+    session.cache.maxsize = max(
+        session.cache.maxsize, len(distinct_forms) + 16
+    )
+
+    pending = list(unique)
+    if processes is None:
+        processes = min(os.cpu_count() or 1, max(1, len(pending)))
+    solver_stats = {}
+    failed = {}  # canonical form -> (message, kind) for unrepairable piles
+
+    # Back half: grade unique forms, sharded across workers when it pays.
+    if processes > 1 and len(pending) > 1:
+        ctx = _pool_context()
+        chunksize = max(1, len(pending) // (processes * 4))
+        with ctx.Pool(
+            processes=min(processes, len(pending)),
+            initializer=_init_worker,
+            initargs=(session.catalog, session.target,
+                      session.max_sites, session.optimized),
+        ) as pool:
+            graded = pool.map(_grade_unique, pending, chunksize=chunksize)
+        for canonical, (report, error, delta) in zip(pending, graded):
+            _merge_counters(solver_stats, delta)
+            if error is not None:
+                failed[canonical] = error
+                continue
+            session.seed(canonical, report)
+            session.pipeline_runs += 1
+            session.pipeline_elapsed_total += report.elapsed
+    else:
+        before = session.solver.stats_snapshot()
+        for canonical in pending:
+            try:
+                session.seed(canonical, session.grade_canonical(canonical))
+            except ReproError as exc:
+                failed[canonical] = (str(exc), type(exc).__name__)
+        _merge_counters(
+            solver_stats,
+            _counter_delta(session.solver.stats_snapshot(), before),
+        )
+
+    # Serve every submission from the warm cache, preserving input order.
+    results = []
+    for sql, entry in zip(submissions, prepared):
+        if isinstance(entry, GradeError):
+            results.append(entry)
+            continue
+        canonical, _ = entry
+        if canonical in failed:
+            message, kind = failed[canonical]
+            results.append(GradeError(sql, message, kind))
+            continue
+        results.append(session.grade(sql, _prepared=entry))
+    return BatchResult(
+        results=results,
+        elapsed=time.perf_counter() - start,
+        unique=len(pending),
+        processes=processes,
+        unique_failed=len(failed),
+        solver_stats=solver_stats,
+        cache_stats=session.cache.stats(),
+    )

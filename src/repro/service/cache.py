@@ -1,0 +1,164 @@
+"""Bounded LRU artifact cache keyed by canonical submission form.
+
+Classroom submission piles are duplicate-heavy: the same wrong answer is
+handed in dozens of times, differing only in whitespace, keyword case, or
+the spelling of table aliases.  Two submissions whose *resolved* queries
+are equal up to a consistent renaming of FROM aliases (alpha-equivalence)
+get identical hints modulo that renaming, so the cache keys every
+submission by its canonical form: the resolved query with aliases renamed
+positionally (``_s0``, ``_s1``, ... in FROM order).
+
+The canonical :class:`~repro.query.ResolvedQuery` is a frozen dataclass of
+frozen dataclasses, hence hashable, and is used directly as the cache key.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+from repro.logic.formulas import And, BoolConst, Comparison, Not, Or
+from repro.logic.substitute import substitute_term
+from repro.logic.terms import Term, Var
+from repro.query import FromEntry
+
+#: Prefix for canonical alias names.  Deliberately not a legal student
+#: alias style (leading underscore) so remapping back to the submitter's
+#: aliases can use plain word-boundary matching on hint text.
+CANON_ALIAS_PREFIX = "_s"
+
+
+def _rename_formula(formula, var_mapping):
+    """Structure-preserving variable rename (no And/Or flattening).
+
+    :func:`repro.logic.substitute.substitute` rebuilds formulas through the
+    ``conj``/``disj`` smart constructors, which flatten nested connectives.
+    Cache canonicalization must be an *exact* inverse-renamable image of
+    the submission -- the pipeline's repaired output is rendered back to
+    the submitter -- so the tree shape is preserved node for node.
+    """
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Comparison):
+        return Comparison(
+            formula.op,
+            substitute_term(formula.left, var_mapping),
+            substitute_term(formula.right, var_mapping),
+        )
+    if isinstance(formula, Not):
+        return Not(_rename_formula(formula.child, var_mapping))
+    if isinstance(formula, (And, Or)):
+        return type(formula)(
+            tuple(_rename_formula(c, var_mapping) for c in formula.operands)
+        )
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def rename_query_aliases(query, mapping):
+    """Like :meth:`ResolvedQuery.rename_aliases`, but structure-preserving."""
+    var_mapping = {}
+    for obj in [query.where, query.having, *query.group_by, *query.select]:
+        for var in obj.variables():
+            alias, _, column = var.name.partition(".")
+            if alias in mapping:
+                var_mapping[var] = Var(f"{mapping[alias]}.{column}", var.vtype)
+    return replace(
+        query,
+        from_entries=tuple(
+            FromEntry(e.table, mapping.get(e.alias, e.alias))
+            for e in query.from_entries
+        ),
+        where=_rename_formula(query.where, var_mapping),
+        group_by=tuple(
+            substitute_term(t, var_mapping) for t in query.group_by
+        ),
+        having=_rename_formula(query.having, var_mapping),
+        select=tuple(substitute_term(t, var_mapping) for t in query.select),
+    )
+
+
+def canonicalize(query):
+    """Return ``(canonical_query, alias_mapping)`` for a resolved query.
+
+    ``alias_mapping`` maps each original alias to its canonical name.
+    Renaming is simultaneous, so pre-existing ``_sN`` aliases cannot chain.
+    """
+    mapping = {
+        entry.alias: f"{CANON_ALIAS_PREFIX}{i}"
+        for i, entry in enumerate(query.from_entries)
+    }
+    return rename_query_aliases(query, mapping), mapping
+
+
+def canonical_key(query):
+    """The cache key for a resolved query: its canonical form."""
+    canonical, _ = canonicalize(query)
+    return canonical
+
+
+class ArtifactCache:
+    """Thread-safe bounded LRU mapping of canonical queries to artifacts.
+
+    A hit refreshes recency; inserting beyond ``maxsize`` evicts the least
+    recently used entry.  ``hits`` / ``misses`` / ``evictions`` counters
+    feed the session and server statistics endpoints.
+    """
+
+    def __init__(self, maxsize=256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        """Return the cached artifact or None, updating LRU order."""
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key, artifact):
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = artifact
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self):
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,256 @@
+"""Stdlib HTTP JSON API over assignment sessions.
+
+A :class:`HintService` is a registry of
+:class:`~repro.service.session.AssignmentSession` objects; the handler
+exposes it over three routes served by a ``ThreadingHTTPServer``:
+
+* ``POST /assignments`` -- register a target query; body
+  ``{"schema": {...}, "target_sql": "..."}`` (schema in the same format as
+  the CLI schema file), returns ``{"assignment_id": "a1", ...}``.
+* ``POST /grade`` -- grade a submission; body
+  ``{"assignment_id": "a1", "sql": "...", "show_fixes": false}``.
+* ``GET /stats`` -- per-assignment cache/solver statistics.
+
+Concurrency model: the threading server gives each request its own
+thread; the registry is guarded by a service-level lock and each grade
+takes its session's re-entrant lock, so concurrent submissions for the
+same assignment are serialized (the solver is not concurrency-safe) while
+different assignments grade in parallel.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.catalog import Catalog
+from repro.errors import ReproError
+from repro.service.session import AssignmentSession
+
+MAX_BODY_BYTES = 1_048_576
+
+
+class ServiceError(Exception):
+    """An HTTP-mappable request error."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+
+
+class HintService:
+    """Registry of assignment sessions behind the HTTP front end."""
+
+    def __init__(self):
+        self._sessions = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.started_at = time.time()
+
+    def create_assignment(
+        self,
+        catalog,
+        target_sql,
+        *,
+        assignment_id=None,
+        max_sites=2,
+        cache_size=256,
+    ):
+        session = AssignmentSession(
+            catalog,
+            target_sql,
+            max_sites=max_sites,
+            cache_size=cache_size,
+        )
+        with self._lock:
+            if assignment_id is None:
+                assignment_id = f"a{next(self._ids)}"
+            if assignment_id in self._sessions:
+                raise ServiceError(
+                    409, f"assignment {assignment_id!r} already exists"
+                )
+            session.assignment_id = assignment_id
+            self._sessions[assignment_id] = session
+        return session
+
+    def session(self, assignment_id):
+        with self._lock:
+            session = self._sessions.get(assignment_id)
+        if session is None:
+            raise ServiceError(404, f"unknown assignment {assignment_id!r}")
+        return session
+
+    def stats(self):
+        with self._lock:
+            sessions = dict(self._sessions)
+        return {
+            "uptime": time.time() - self.started_at,
+            "assignments": {
+                aid: session.stats() for aid, session in sessions.items()
+            },
+        }
+
+
+class HintRequestHandler(BaseHTTPRequestHandler):
+    """JSON request handler; the service lives on ``self.server.service``."""
+
+    protocol_version = "HTTP/1.1"
+    quiet = True
+
+    def log_message(self, fmt, *args):  # pragma: no cover - noise control
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send_json(self, status, payload):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _drain_body(self):
+        """Consume an unread request body so keep-alive stays in sync.
+
+        Responding without reading the body leaves its bytes on the
+        socket, and the next request on the persistent connection would
+        be parsed out of them.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        while length > 0:
+            chunk = self.rfile.read(min(length, 65536))
+            if not chunk:
+                break
+            length -= len(chunk)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # Too large to drain; drop the connection after responding.
+            self.close_connection = True
+            raise ServiceError(413, "request body too large")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError(400, "empty request body")
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            raise ServiceError(400, "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return payload
+
+    def _require(self, payload, key, types=str):
+        value = payload.get(key)
+        if not isinstance(value, types):
+            raise ServiceError(400, f"field {key!r} is required")
+        return value
+
+    def _dispatch(self, handler):
+        try:
+            status, payload = handler()
+        except ServiceError as error:
+            status, payload = error.status, {"error": str(error)}
+        except ReproError as error:
+            status, payload = 400, {
+                "error": str(error),
+                "kind": type(error).__name__,
+            }
+        except Exception as error:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"internal error: {error}"}
+        self._send_json(status, payload)
+
+    # -- routes ---------------------------------------------------------
+
+    def do_POST(self):
+        if self.path == "/assignments":
+            self._dispatch(self._post_assignment)
+        elif self.path == "/grade":
+            self._dispatch(self._post_grade)
+        else:
+            self._drain_body()
+            self._send_json(404, {"error": f"no such route {self.path}"})
+
+    def do_GET(self):
+        if self.path == "/stats":
+            self._dispatch(self._get_stats)
+        elif self.path == "/healthz":
+            self._drain_body()
+            self._send_json(200, {"ok": True})
+        else:
+            self._drain_body()
+            self._send_json(404, {"error": f"no such route {self.path}"})
+
+    def _post_assignment(self):
+        payload = self._read_json()
+        spec = self._require(payload, "schema", dict)
+        target_sql = self._require(payload, "target_sql")
+        try:
+            catalog = Catalog.from_spec(spec)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(400, f"invalid schema: {error}")
+        try:
+            max_sites = int(payload.get("max_sites", 2))
+            cache_size = int(payload.get("cache_size", 256))
+        except (TypeError, ValueError):
+            raise ServiceError(400, "max_sites/cache_size must be integers")
+        session = self.server.service.create_assignment(
+            catalog,
+            target_sql,
+            assignment_id=payload.get("assignment_id"),
+            max_sites=max_sites,
+            cache_size=cache_size,
+        )
+        return 201, {
+            "assignment_id": session.assignment_id,
+            "target_sql": " ".join(session.target_sql.split()),
+        }
+
+    def _post_grade(self):
+        payload = self._read_json()
+        assignment_id = self._require(payload, "assignment_id")
+        sql = self._require(payload, "sql")
+        show_fixes = bool(payload.get("show_fixes", False))
+        session = self.server.service.session(assignment_id)
+        result = session.grade(sql)
+        body = result.to_dict(show_fixes=show_fixes)
+        body["assignment_id"] = assignment_id
+        body["text"] = result.text(show_fixes=show_fixes)
+        return 200, body
+
+    def _get_stats(self):
+        self._drain_body()
+        return 200, self.server.service.stats()
+
+
+def make_server(host="127.0.0.1", port=0, service=None):
+    """Build (but do not start) the threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is on
+    ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), HintRequestHandler)
+    server.daemon_threads = True
+    server.service = service or HintService()
+    return server
+
+
+def serve(host="127.0.0.1", port=8100, service=None, quiet=False):
+    """Run the API server until interrupted; returns the exit code."""
+    HintRequestHandler.quiet = quiet
+    server = make_server(host, port, service)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro hint service listening on http://{bound_host}:{bound_port}")
+    print("routes: POST /assignments  POST /grade  GET /stats  GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0

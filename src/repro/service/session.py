@@ -1,0 +1,344 @@
+"""Long-lived grading sessions for a single assignment.
+
+An :class:`AssignmentSession` is created once per assignment (one target
+query) and then grades any number of submissions against it.  It amortizes
+everything the one-shot CLI pays per request:
+
+* the target is parsed and resolved exactly once;
+* one persistent :class:`~repro.solver.Solver` carries its learned clauses,
+  SAT/theory caches, and saved phases across submissions;
+* finished reports are memoized in an :class:`ArtifactCache` keyed by the
+  submission's canonical (alias-renamed) form, so duplicate and
+  alpha-equivalent submissions are served without re-running the pipeline.
+
+The pipeline always runs on the *canonical* form of the submission and the
+cached report is translated back into the submitter's own alias namespace,
+which makes the served hints a deterministic function of (canonical form,
+alias mapping) -- two students handing in the same query under different
+aliases get textually consistent hints.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.hints import Hint
+from repro.core.pipeline import QrHint
+from repro.query import ResolvedQuery
+from repro.service.cache import (
+    ArtifactCache,
+    canonicalize,
+    rename_query_aliases,
+)
+from repro.solver import Solver
+from repro.sqlparser.rewrite import parse_query_extended
+
+_CANON_TOKEN = re.compile(r"\b(_s\d+)\b")
+_SQL_LITERAL = re.compile(r"'[^']*'")
+
+
+def _remap_text(text, inverse):
+    """Rewrite canonical ``_sN`` alias tokens back to submitter aliases.
+
+    Quoted SQL string literals are left untouched: a submission may
+    legitimately contain the text ``'_s0'`` as data, and hints quote the
+    student's own literals verbatim.
+    """
+    if text is None:
+        return None
+
+    def rename(segment):
+        return _CANON_TOKEN.sub(
+            lambda m: inverse.get(m.group(1), m.group(1)), segment
+        )
+
+    parts = []
+    last = 0
+    for literal in _SQL_LITERAL.finditer(text):
+        parts.append(rename(text[last:literal.start()]))
+        parts.append(literal.group(0))
+        last = literal.end()
+    parts.append(rename(text[last:]))
+    return "".join(parts)
+
+
+def _remap_hint(hint, inverse):
+    return Hint(
+        stage=hint.stage,
+        kind=hint.kind,
+        message=_remap_text(hint.message, inverse),
+        site=_remap_text(hint.site, inverse),
+        fix=_remap_text(hint.fix, inverse),
+    )
+
+
+@dataclass(frozen=True)
+class GradeResult:
+    """One graded submission, in the submitter's own alias namespace."""
+
+    submission_sql: str
+    all_passed: bool
+    #: ``((stage, passed, (Hint, ...)), ...)`` in pipeline order.
+    stage_hints: tuple
+    final_sql: str
+    cached: bool
+    pipeline_elapsed: float  # cost of the underlying QrHint run
+    elapsed: float  # wall time spent serving this submission
+
+    @property
+    def hints(self):
+        out = []
+        for _, _, hints in self.stage_hints:
+            out.extend(hints)
+        return tuple(out)
+
+    def text(self, show_fixes=False):
+        """Render exactly the CLI ``hint`` output block for this result."""
+        return "\n".join(format_grade_lines(self, show_fixes=show_fixes))
+
+    def to_dict(self, show_fixes=False):
+        """JSON-safe rendering (used by the HTTP API and ``--json``)."""
+        stages = []
+        for stage, passed, hints in self.stage_hints:
+            stages.append(
+                {
+                    "stage": stage,
+                    "passed": passed,
+                    "hints": [
+                        {
+                            "kind": h.kind,
+                            "message": h.message,
+                            "site": h.site,
+                            **({"fix": h.fix} if show_fixes else {}),
+                        }
+                        for h in hints
+                    ],
+                }
+            )
+        return {
+            "all_passed": self.all_passed,
+            "stages": stages,
+            "final_sql": self.final_sql,
+            "cached": self.cached,
+            "elapsed": self.elapsed,
+        }
+
+
+def format_grade_lines(result, show_fixes=False):
+    """The CLI hint block as a list of lines (shared by CLI and service)."""
+    if result.all_passed:
+        return ["The working query is already equivalent to the target."]
+    lines = []
+    for stage, passed, hints in result.stage_hints:
+        if passed:
+            continue
+        lines.append(f"[{stage}]")
+        for hint in hints:
+            lines.append(f"  - {hint.message}")
+            if show_fixes and hint.fix:
+                lines.append(f"    fix: {hint.site}  ->  {hint.fix}")
+    lines.append("")
+    lines.append("Query after applying all repairs:")
+    lines.append(f"  {result.final_sql}")
+    return lines
+
+
+def format_report(report, show_fixes=False):
+    """Render a raw pipeline :class:`Report` the same way as the CLI."""
+    stage_hints = tuple(
+        (s.stage, s.passed, tuple(s.hints)) for s in report.stages
+    )
+    shim = GradeResult(
+        submission_sql="",
+        all_passed=report.all_passed,
+        stage_hints=stage_hints,
+        final_sql=report.final_query.to_sql(),
+        cached=False,
+        pipeline_elapsed=report.elapsed,
+        elapsed=report.elapsed,
+    )
+    return "\n".join(format_grade_lines(shim, show_fixes=show_fixes))
+
+
+def _disambiguate(inverse, query):
+    """Extend the inverse mapping so repair-introduced aliases survive.
+
+    The FROM repair may add missing tables under fresh aliases chosen in
+    the *canonical* namespace (where only ``_sN`` names are taken).  Such
+    an alias can collide with a submitter alias once ``_sN`` names are
+    mapped back -- e.g. repair alias ``likes`` vs. submission alias
+    ``likes`` -- which would silently merge two FROM entries and turn
+    join predicates into tautologies.  Colliding repair aliases are
+    renamed ``alias_2``, ``alias_3``, ... exactly as the repair itself
+    would have done had it graded the submission directly.
+    """
+    used = set(inverse.values())
+    extended = dict(inverse)
+    for entry in query.from_entries:
+        alias = entry.alias
+        if alias in extended:
+            continue
+        if alias in used:
+            counter = 2
+            fresh = f"{alias}_{counter}"
+            while fresh in used:
+                counter += 1
+                fresh = f"{alias}_{counter}"
+            extended[alias] = fresh
+            used.add(fresh)
+        else:
+            used.add(alias)
+    return extended
+
+
+def _counter_delta(now, baseline):
+    return {
+        key: value - baseline.get(key, 0)
+        for key, value in now.items()
+        if isinstance(value, int)
+    }
+
+
+class AssignmentSession:
+    """Grades submissions against one target query, reusing all artifacts.
+
+    Thread-safe: :meth:`grade` serializes pipeline runs behind a per-session
+    re-entrant lock (the solver and its caches are not concurrency-safe),
+    which is the locking granularity the HTTP server relies on.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        target,
+        *,
+        assignment_id=None,
+        max_sites=2,
+        optimized=True,
+        cache_size=256,
+        solver=None,
+    ):
+        self.catalog = catalog
+        self.assignment_id = assignment_id
+        if isinstance(target, str):
+            self.target_sql = target
+            self.target = parse_query_extended(target, catalog)
+        else:
+            self.target = target
+            self.target_sql = target.to_sql()
+        self.max_sites = max_sites
+        self.optimized = optimized
+        self.solver = solver or Solver()
+        self.cache = ArtifactCache(cache_size)
+        self.lock = threading.RLock()
+        self._solver_baseline = self.solver.stats_snapshot()
+        self.submissions = 0
+        self.pipeline_runs = 0
+        self.elapsed_total = 0.0
+        self.pipeline_elapsed_total = 0.0
+        self.created_at = time.time()
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, submission):
+        """Parse + canonicalize a submission.
+
+        Returns ``(canonical_query, inverse_alias_mapping)``; the inverse
+        mapping translates canonical ``_sN`` aliases back to the
+        submitter's.  This is the cheap (sub-millisecond) front half of
+        grading, split out so the batch grader can dedupe before fanning
+        the expensive half out to workers.
+        """
+        if isinstance(submission, str):
+            working = parse_query_extended(submission, self.catalog)
+        else:
+            working = submission
+        canonical, mapping = canonicalize(working)
+        inverse = {canon: orig for orig, canon in mapping.items()}
+        return canonical, inverse
+
+    def grade(self, submission, _prepared=None):
+        """Grade one submission; returns a :class:`GradeResult`.
+
+        Parse/resolution errors propagate as :class:`repro.errors.ReproError`.
+        ``_prepared`` lets the batch grader pass the ``prepare()`` output it
+        already computed for deduplication, skipping the second parse.
+        """
+        start = time.perf_counter()
+        sql = submission if isinstance(submission, str) else submission.to_sql()
+        with self.lock:
+            canonical, inverse = _prepared or self.prepare(submission)
+            report = self.cache.get(canonical)
+            cached = report is not None
+            if not cached:
+                report = self.grade_canonical(canonical)
+                self.cache.put(canonical, report)
+            self.submissions += 1
+            elapsed = time.perf_counter() - start
+            self.elapsed_total += elapsed
+        stage_hints = tuple(
+            (
+                stage.stage,
+                stage.passed,
+                tuple(_remap_hint(h, inverse) for h in stage.hints),
+            )
+            for stage in report.stages
+        )
+        final_query = rename_query_aliases(
+            report.final_query,
+            _disambiguate(inverse, report.final_query),
+        )
+        return GradeResult(
+            submission_sql=sql,
+            all_passed=report.all_passed,
+            stage_hints=stage_hints,
+            final_sql=final_query.to_sql(),
+            cached=cached,
+            pipeline_elapsed=report.elapsed,
+            elapsed=elapsed,
+        )
+
+    def grade_canonical(self, canonical):
+        """Run the full pipeline on an already-canonical query (no cache)."""
+        report = QrHint(
+            self.catalog,
+            self.target,
+            canonical,
+            max_sites=self.max_sites,
+            optimized=self.optimized,
+            solver=self.solver,
+        ).run()
+        self.pipeline_runs += 1
+        self.pipeline_elapsed_total += report.elapsed
+        return report
+
+    def seed(self, canonical, report):
+        """Install an externally computed report (batch workers use this)."""
+        self.cache.put(canonical, report)
+
+    # ------------------------------------------------------------------
+
+    def solver_stats(self):
+        """Solver counter deltas since this session was created."""
+        snapshot = self.solver.stats_snapshot()
+        delta = _counter_delta(snapshot, self._solver_baseline)
+        lookups = delta.get("cache_hits", 0) + delta.get("sat_calls", 0)
+        delta["cache_hit_rate"] = (
+            delta.get("cache_hits", 0) / lookups if lookups else 0.0
+        )
+        return delta
+
+    def stats(self):
+        return {
+            "assignment_id": self.assignment_id,
+            "target_sql": " ".join(self.target_sql.split()),
+            "submissions": self.submissions,
+            "pipeline_runs": self.pipeline_runs,
+            "elapsed_total": self.elapsed_total,
+            "pipeline_elapsed_total": self.pipeline_elapsed_total,
+            "cache": self.cache.stats(),
+            "solver": self.solver_stats(),
+        }

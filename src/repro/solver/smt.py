@@ -54,6 +54,28 @@ class Solver:
         }
 
     # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self):
+        """A point-in-time copy of the counters plus the cache hit-rate.
+
+        Long-lived sessions and batch workers diff two snapshots to report
+        per-request deltas instead of process-lifetime totals.
+        """
+        snapshot = dict(self.stats)
+        lookups = snapshot["cache_hits"] + snapshot["sat_calls"]
+        snapshot["cache_hit_rate"] = (
+            snapshot["cache_hits"] / lookups if lookups else 0.0
+        )
+        return snapshot
+
+    def reset_stats(self):
+        """Zero the counters (the result caches themselves are kept)."""
+        for key in self.stats:
+            self.stats[key] = 0
+
+    # ------------------------------------------------------------------
     # Public primitives
     # ------------------------------------------------------------------
 

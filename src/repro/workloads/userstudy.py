@@ -21,11 +21,19 @@ from the simulation.  See DESIGN.md for the substitution rationale.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass, field
 
 from repro.workloads.dblp import QUESTIONS
 
 VOTE_CATEGORIES = ("Obvious", "Helpful", "Unhelpful")
+
+# Keywords eligible for case jitter in simulated submissions.  String
+# literals and identifiers are left untouched (identifiers because alias
+# spelling is exercised separately via alpha-renaming).
+_JITTER_KEYWORDS = frozenset(
+    "SELECT FROM WHERE GROUP BY HAVING AND OR NOT DISTINCT AS ON".split()
+)
 
 # Per-error identification probabilities (no-hint vs with-hint), calibrated
 # to the reported at-least-one-error rates of Figures 5a/5b.
@@ -116,6 +124,86 @@ def simulate_votes(question, participants, seed=0):
             source_tally.add(category)
         per_hint.append((hint, tally))
     return by_source, per_hint
+
+
+# One "word": a quoted string literal (kept byte-for-byte, including any
+# internal whitespace) or a run of non-space, non-quote characters.
+_POOL_TOKEN = re.compile(r"'[^']*'|[^\s']+")
+
+
+def _format_variant(sql, rng):
+    """Reformat a query the way a different student would type it.
+
+    Whitespace and keyword case are randomized; string literals are kept
+    verbatim, so the resolved query is unchanged -- exactly the duplicate
+    class the service layer's artifact cache is built for.
+    """
+    out = []
+    for token in _POOL_TOKEN.findall(sql):
+        if token.upper() in _JITTER_KEYWORDS and rng.random() < 0.6:
+            token = token.lower() if rng.random() < 0.5 else token.upper()
+        out.append(token)
+    text = []
+    for i, token in enumerate(out):
+        if i:
+            roll = rng.random()
+            if roll < 0.08:
+                text.append("\n  ")
+            elif roll < 0.2:
+                text.append("  ")
+            else:
+                text.append(" ")
+        text.append(token)
+    return "".join(text)
+
+
+def _alias_variants(sql, prefixes=("w", "z")):
+    """Alpha-equivalent rewrites: same query under renamed FROM aliases."""
+    from repro.workloads import dblp
+    from repro.sqlparser.rewrite import parse_query_extended
+
+    parsed = parse_query_extended(sql, dblp.catalog())
+    variants = []
+    for prefix in prefixes:
+        mapping = {
+            entry.alias: f"{prefix}{i}"
+            for i, entry in enumerate(parsed.from_entries)
+        }
+        variants.append(parsed.rename_aliases(mapping).to_sql())
+    return variants
+
+
+def submission_pool(question, count=200, seed=0, correct_rate=0.1,
+                    alias_rate=0.25):
+    """Simulate a duplicate-heavy classroom pile for one study question.
+
+    Returns ``count`` SQL strings, all answering ``question`` (a
+    :class:`~repro.workloads.dblp.StudyQuestion` or its qid): mostly the
+    paper's wrong query under formatting/case/alias perturbations, plus a
+    ``correct_rate`` share of correct submissions.  This is the demo
+    workload for the batch grading path (``repro grade-batch --workload
+    userstudy``): the pool collapses to very few canonical forms, so the
+    artifact cache serves almost every submission.
+    """
+    if isinstance(question, str):
+        match = next((q for q in QUESTIONS if q.qid == question), None)
+        if match is None:
+            known = ", ".join(q.qid for q in QUESTIONS)
+            raise ValueError(f"unknown question {question!r} (have: {known})")
+        question = match
+    rng = random.Random(f"{question.qid}|pool|{seed}")
+    alias_forms = _alias_variants(question.wrong_sql)
+    pool = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < correct_rate:
+            base = question.correct_sql
+        elif roll < correct_rate + alias_rate:
+            base = rng.choice(alias_forms)
+        else:
+            base = question.wrong_sql
+        pool.append(_format_variant(base, rng))
+    return pool
 
 
 def run_full_study(participants_per_arm=8, seed=0):

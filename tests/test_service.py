@@ -1,0 +1,547 @@
+"""Tests for the service layer: cache, sessions, batch grading, HTTP API."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.pipeline import grade
+from repro.errors import ParseError
+from repro.service import (
+    ArtifactCache,
+    AssignmentSession,
+    GradeError,
+    canonical_key,
+    canonicalize,
+    grade_batch,
+    make_server,
+)
+from repro.service.session import format_report
+from repro.sqlparser.rewrite import parse_query_extended
+from repro.workloads import dblp, userstudy
+
+TARGET = "SELECT beer FROM Serves WHERE price > 2"
+WRONG = "SELECT beer FROM Serves WHERE price >= 2"
+
+
+class TestArtifactCache:
+    def test_hit_miss_counters(self):
+        cache = ArtifactCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ArtifactCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(maxsize=0)
+
+
+class TestCanonicalization:
+    def test_formatting_variants_share_key(self, beers_catalog):
+        a = parse_query_extended(WRONG, beers_catalog)
+        b = parse_query_extended(
+            "select  BEER\n  from serves\n  WHERE  price >= 2", beers_catalog
+        )
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_alpha_equivalent_aliases_share_key(self, beers_catalog):
+        a = parse_query_extended(
+            "SELECT x.beer FROM Serves x WHERE x.price >= 2", beers_catalog
+        )
+        b = parse_query_extended(
+            "SELECT y.beer FROM Serves y WHERE y.price >= 2", beers_catalog
+        )
+        assert canonical_key(a) == canonical_key(b)
+        assert a != b  # only the canonical forms coincide
+
+    def test_different_predicates_differ(self, beers_catalog):
+        a = parse_query_extended(WRONG, beers_catalog)
+        b = parse_query_extended(
+            "SELECT beer FROM Serves WHERE price > 3", beers_catalog
+        )
+        assert canonical_key(a) != canonical_key(b)
+
+    def test_canonicalize_is_structure_preserving(self, beers_catalog):
+        # Or-of-Ands must keep its exact nesting: the repaired query is
+        # rendered back to the submitter through the inverse rename.
+        sql = ("SELECT v.beer FROM Serves v WHERE "
+               "(v.bar = 'Joyce' AND v.price > 2) OR "
+               "(v.bar = 'Taproom' AND v.price > 3)")
+        query = parse_query_extended(sql, beers_catalog)
+        canonical, mapping = canonicalize(query)
+        assert mapping == {"v": "_s0"}
+        from repro.service.cache import rename_query_aliases
+
+        inverse = {"_s0": "v"}
+        assert rename_query_aliases(canonical, inverse) == query
+
+
+class TestAssignmentSession:
+    def test_duplicate_submission_is_cached(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        first = session.grade(WRONG)
+        second = session.grade("select  beer from serves WHERE price >= 2")
+        assert not first.cached and second.cached
+        assert first.text() == second.text()
+        assert session.cache.stats()["hits"] == 1
+        assert session.pipeline_runs == 1
+
+    def test_remap_leaves_string_literals_alone(self, beers_catalog):
+        # A submission may contain the canonical alias spelling as *data*;
+        # hints quote the student's literal verbatim.
+        session = AssignmentSession(
+            beers_catalog, "SELECT s.beer FROM Serves s WHERE s.bar = 'Joe'"
+        )
+        result = session.grade("SELECT x.beer FROM Serves x WHERE x.bar = '_s0'")
+        assert "x.bar = '_s0'" in result.text()
+        direct = format_report(
+            grade(
+                beers_catalog,
+                "SELECT s.beer FROM Serves s WHERE s.bar = 'Joe'",
+                "SELECT x.beer FROM Serves x WHERE x.bar = '_s0'",
+            )
+        )
+        assert result.text() == direct
+
+    def test_alpha_hit_remaps_to_submitter_aliases(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        session.grade("SELECT x.beer FROM Serves x WHERE x.price >= 2")
+        result = session.grade("SELECT y.beer FROM Serves y WHERE y.price >= 2")
+        assert result.cached
+        text = result.text()
+        assert "y.price" in text
+        assert "x.price" not in text and "_s0" not in text
+
+    def test_from_repair_alias_collision_disambiguated(self, beers_catalog):
+        # The FROM repair adds the missing Likes table under a fresh alias
+        # chosen in the canonical namespace; mapping _s0 back to the
+        # submitter's alias 'likes' must not collide with it (that would
+        # merge the two FROM entries and turn the join into a tautology).
+        target = ("SELECT likes.drinker FROM Likes likes, Serves serves "
+                  "WHERE likes.beer = serves.beer AND serves.price < 3")
+        submission = "SELECT likes.bar FROM Serves likes WHERE likes.price < 3"
+        session = AssignmentSession(beers_catalog, target)
+        result = session.grade(submission)
+        direct = grade(beers_catalog, target, submission)
+        assert result.final_sql == direct.final_query.to_sql()
+        assert "likes.beer = likes.beer" not in result.final_sql
+
+    def test_matches_one_shot_pipeline_output(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        direct = format_report(grade(beers_catalog, TARGET, WRONG))
+        assert session.grade(WRONG).text() == direct
+
+    def test_equivalent_submission_passes(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        result = session.grade("SELECT serves.beer FROM Serves WHERE 2 < price")
+        assert result.all_passed
+        assert "already equivalent" in result.text()
+
+    def test_parse_error_propagates(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        with pytest.raises(ParseError):
+            session.grade("SELEKT nope")
+
+    def test_solver_stats_are_session_deltas(self, beers_catalog):
+        shared_solver_session = AssignmentSession(beers_catalog, TARGET)
+        shared_solver_session.grade(WRONG)
+        fresh = AssignmentSession(
+            beers_catalog, TARGET, solver=shared_solver_session.solver
+        )
+        assert fresh.solver_stats()["sat_calls"] == 0
+        fresh.grade("SELECT beer FROM Serves WHERE price >= 3")
+        assert fresh.solver_stats()["sat_calls"] > 0
+
+    def test_stats_shape(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET, assignment_id="hw1")
+        session.grade(WRONG)
+        stats = session.stats()
+        assert stats["assignment_id"] == "hw1"
+        assert stats["submissions"] == 1
+        assert stats["pipeline_runs"] == 1
+        assert 0.0 <= stats["solver"]["cache_hit_rate"] <= 1.0
+
+
+class TestBatchGrading:
+    @pytest.fixture(scope="class")
+    def question(self):
+        return next(q for q in dblp.QUESTIONS if q.qid == "Q4")
+
+    @pytest.fixture(scope="class")
+    def pool(self, question):
+        return userstudy.submission_pool(question, count=30, seed=7)
+
+    def test_batch_matches_sequential_one_shot(self, dblp_catalog, question, pool):
+        sequential = [
+            format_report(grade(dblp_catalog, question.correct_sql, sql))
+            for sql in pool
+        ]
+        batch = grade_batch(
+            dblp_catalog, question.correct_sql, pool, processes=2
+        )
+        assert [r.text() for r in batch.results] == sequential
+
+    def test_serial_and_parallel_agree(self, dblp_catalog, question, pool):
+        serial = grade_batch(
+            dblp_catalog, question.correct_sql, pool, processes=1
+        )
+        parallel = grade_batch(
+            dblp_catalog, question.correct_sql, pool, processes=2
+        )
+        assert [r.text() for r in serial.results] == [
+            r.text() for r in parallel.results
+        ]
+        assert serial.unique == parallel.unique
+
+    def test_duplicate_heavy_pool_hits_cache(self, dblp_catalog, question, pool):
+        batch = grade_batch(
+            dblp_catalog, question.correct_sql, pool, processes=1
+        )
+        assert batch.unique < len(pool) // 2
+        assert batch.cache_hit_rate > 0.5
+        assert batch.stats()["solver"]["sat_calls"] > 0
+
+    def test_bad_submissions_become_grade_errors(self, dblp_catalog, question):
+        pool = [question.wrong_sql, "SELEKT nope", question.wrong_sql]
+        batch = grade_batch(
+            dblp_catalog, question.correct_sql, pool, processes=1
+        )
+        assert batch.errors == 1
+        assert isinstance(batch.results[1], GradeError)
+        assert batch.results[1].kind == "ParseError"
+        assert batch.results[0].text() == batch.results[2].text()
+
+    def test_unrepairable_submission_does_not_abort_batch(self, beers_catalog):
+        # max_sites=0 makes any needed repair unviable (RepairError); the
+        # rest of the pile must still grade.
+        target = "SELECT beer FROM Serves WHERE price > 2 AND bar = 'Joyce'"
+        equivalent = "SELECT serves.beer FROM Serves WHERE 2 < price AND bar = 'Joyce'"
+        unrepairable = "SELECT beer FROM Serves WHERE price < 1 OR bar = 'Moe'"
+        for processes in (1, 2):
+            batch = grade_batch(
+                beers_catalog,
+                target,
+                [equivalent, unrepairable, equivalent],
+                processes=processes,
+                max_sites=0,
+            )
+            assert batch.errors == 1
+            assert isinstance(batch.results[1], GradeError)
+            assert batch.results[1].kind == "RepairError"
+            assert batch.results[0].all_passed and batch.results[2].all_passed
+
+    def test_hit_rate_stays_sane_when_unique_forms_fail(self, beers_catalog):
+        target = "SELECT beer FROM Serves WHERE price > 2 AND bar = 'Joyce'"
+        equivalent = "SELECT serves.beer FROM Serves WHERE 2 < price AND bar = 'Joyce'"
+        pool = [
+            equivalent,
+            "SELECT beer FROM Serves WHERE price < 1 OR bar = 'Moe'",
+            "SELECT beer FROM Serves WHERE price < 1 OR bar = 'Zed'",
+            equivalent,
+        ]
+        batch = grade_batch(
+            beers_catalog, target, pool, processes=1, max_sites=0
+        )
+        assert batch.unique == 3 and batch.unique_failed == 2
+        assert batch.errors == 2
+        # 2 graded submissions over 1 successful form -> 50%, never negative.
+        assert batch.cache_hit_rate == 0.5
+
+    def test_format_variant_preserves_multiword_literals(self):
+        from repro.workloads.userstudy import _format_variant
+        import random
+
+        sql = "SELECT t.a FROM T t WHERE t.city = 'New York'  AND t.a > 1"
+        for seed in range(20):
+            assert "'New York'" in _format_variant(sql, random.Random(seed))
+
+
+class _Client:
+    def __init__(self, base):
+        self.base = base
+
+    def post(self, path, payload):
+        request = urllib.request.Request(
+            self.base + path,
+            json.dumps(payload).encode(),
+            {"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def get(self, path):
+        try:
+            with urllib.request.urlopen(self.base + path) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def client():
+    server = make_server(port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield _Client(f"http://{host}:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+SCHEMA = {"Serves": [["bar", "STRING"], ["beer", "STRING"], ["price", "FLOAT"]]}
+
+
+class TestHttpServer:
+    def _create(self, client, **extra):
+        return client.post(
+            "/assignments",
+            {"schema": SCHEMA, "target_sql": TARGET, **extra},
+        )
+
+    def test_create_and_grade(self, client):
+        status, created = self._create(client)
+        assert status == 201
+        aid = created["assignment_id"]
+        status, body = client.post("/grade", {"assignment_id": aid, "sql": WRONG})
+        assert status == 200
+        assert not body["all_passed"]
+        assert any(s["stage"] == "WHERE" and s["hints"] for s in body["stages"])
+        assert "[WHERE]" in body["text"]
+
+    def test_cache_hit_on_duplicate(self, client):
+        _, created = self._create(client)
+        aid = created["assignment_id"]
+        _, first = client.post("/grade", {"assignment_id": aid, "sql": WRONG})
+        _, second = client.post(
+            "/grade",
+            {"assignment_id": aid, "sql": "select beer  from Serves where price >= 2"},
+        )
+        assert not first["cached"] and second["cached"]
+        assert first["text"] == second["text"]
+
+    def test_unknown_assignment_404(self, client):
+        status, body = client.post(
+            "/grade", {"assignment_id": "nope", "sql": WRONG}
+        )
+        assert status == 404 and "error" in body
+
+    def test_parse_error_400(self, client):
+        _, created = self._create(client)
+        status, body = client.post(
+            "/grade",
+            {"assignment_id": created["assignment_id"], "sql": "SELEKT"},
+        )
+        assert status == 400 and body["kind"] == "ParseError"
+
+    def test_duplicate_assignment_id_409(self, client):
+        assert self._create(client, assignment_id="hw")[0] == 201
+        assert self._create(client, assignment_id="hw")[0] == 409
+
+    def test_malformed_schema_400_not_500(self, client):
+        status, body = client.post(
+            "/assignments",
+            {"schema": {"Serves": [["beer", "str"]]}, "target_sql": TARGET},
+        )
+        assert status == 400 and "invalid schema" in body["error"]
+        status, _ = client.post(
+            "/assignments", {"schema": {"Serves": "oops"}, "target_sql": TARGET}
+        )
+        assert status == 400
+
+    def test_bad_json_400(self, client):
+        request = urllib.request.Request(
+            client.base + "/grade", b"not json", {"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_stats_endpoint(self, client):
+        _, created = self._create(client)
+        aid = created["assignment_id"]
+        client.post("/grade", {"assignment_id": aid, "sql": WRONG})
+        client.post("/grade", {"assignment_id": aid, "sql": WRONG})
+        status, stats = client.get("/stats")
+        assert status == 200
+        entry = stats["assignments"][aid]
+        assert entry["submissions"] == 2
+        assert entry["cache"]["hits"] == 1
+
+    def test_keep_alive_survives_404_with_body(self, client):
+        # A 404 must drain the unread body or the next request on the
+        # persistent connection is parsed out of the leftover bytes.
+        import http.client
+        from urllib.parse import urlsplit
+
+        netloc = urlsplit(client.base).netloc
+        conn = http.client.HTTPConnection(netloc, timeout=5)
+        try:
+            conn.request(
+                "POST", "/nope", body=b'{"x": 1}',
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 404
+            resp.read()
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert json.loads(resp.read()) == {"ok": True}
+        finally:
+            conn.close()
+
+    def test_concurrent_grades_are_consistent(self, client):
+        _, created = self._create(client)
+        aid = created["assignment_id"]
+        submissions = [WRONG, "select beer from serves where PRICE >= 2"] * 8
+
+        def hit(sql):
+            return client.post("/grade", {"assignment_id": aid, "sql": sql})
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(hit, submissions))
+        assert all(status == 200 for status, _ in responses)
+        texts = {body["text"] for _, body in responses}
+        assert len(texts) == 1  # every duplicate got the identical hint block
+        _, stats = client.get("/stats")
+        entry = stats["assignments"][aid]
+        assert entry["submissions"] == len(submissions)
+        assert entry["pipeline_runs"] == 1  # one solve, 15 cache serves
+
+
+class TestCliSubcommands:
+    @pytest.fixture()
+    def schema_file(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(SCHEMA))
+        return str(path)
+
+    def test_grade_batch_from_file(self, schema_file, tmp_path, capsys):
+        from repro.cli import main
+
+        subs = tmp_path / "subs.json"
+        subs.write_text(json.dumps([WRONG, WRONG, "SELEKT nope"]))
+        out_path = tmp_path / "out.json"
+        code = main(
+            [
+                "grade-batch",
+                "--schema", schema_file,
+                "--target-sql", TARGET,
+                "--submissions", str(subs),
+                "--processes", "1",
+                "--json", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "2 unique" not in capsys.readouterr().out  # 1 unique + 1 error
+        payload = json.loads(out_path.read_text())
+        assert payload["stats"]["submissions"] == 3
+        assert payload["stats"]["errors"] == 1
+        assert payload["results"][0]["stages"]
+        assert payload["results"][2]["kind"] == "ParseError"
+
+    def test_grade_batch_bad_submissions_file_exits_2(
+        self, schema_file, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        subs = tmp_path / "subs.json"
+        subs.write_text(json.dumps([{"nope": 1}]))
+        code = main(
+            [
+                "grade-batch",
+                "--schema", schema_file,
+                "--target-sql", TARGET,
+                "--submissions", str(subs),
+            ]
+        )
+        assert code == 2  # input error, not a verification failure (1)
+        assert "unsupported submission entry" in capsys.readouterr().err
+
+    def test_grade_batch_userstudy_workload(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "grade-batch",
+                "--workload", "userstudy",
+                "--question", "Q4",
+                "--count", "12",
+                "--processes", "1",
+            ]
+        )
+        assert code == 0
+        assert "Graded 12 submissions" in capsys.readouterr().out
+
+    def test_usage_errors_exit_2_not_1(self, schema_file, tmp_path, capsys):
+        from repro.cli import main
+
+        # missing --working entirely: a usage error, not a verify failure
+        code = main(["--schema", schema_file, "--target-sql", TARGET])
+        assert code == 2
+        # schema file with a bad column type: error message, not traceback
+        bad_schema = tmp_path / "bad.json"
+        bad_schema.write_text(json.dumps({"Serves": [["beer", "str"]]}))
+        code = main(
+            [
+                "--schema", str(bad_schema),
+                "--target-sql", TARGET,
+                "--working-sql", WRONG,
+            ]
+        )
+        assert code == 2
+        assert "invalid schema" in capsys.readouterr().err
+
+    def test_serve_preload_parse_error_exits_2(self, schema_file, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve",
+                "--schema", schema_file,
+                "--target-sql", "SELEKT x",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_failure_exit_code_and_single_stats_block(
+        self, schema_file, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "appear_equivalent", lambda *a, **k: False)
+        code = cli.main(
+            [
+                "--schema", schema_file,
+                "--target-sql", TARGET,
+                "--working-sql", WRONG,
+                "--verify",
+                "--solver-stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # verification failure, distinct from parse error (2)
+        assert "FAIL" in out
+        assert out.count("Solver stats:") == 1
+        assert "cache_hit_rate" in out
