@@ -1,18 +1,22 @@
 """Interactive SQL tutor: the office-hours loop Qr-Hint was built for.
 
 Simulates a tutoring session on the DBLP user-study questions: the student
-"submits" a wrong query, Qr-Hint produces stage-by-stage hints (repair
-sites only -- fixes withheld, exactly as in the paper's user study), the
-student "applies" each fix, and the session ends once the query is
-provably equivalent to the reference solution.
+"submits" a wrong query, the tutor first shows a *counterexample witness*
+(a tiny concrete database on which the wrong and reference queries
+visibly disagree -- see docs/witness.md), then Qr-Hint produces
+stage-by-stage hints (repair sites only -- fixes withheld, exactly as in
+the paper's user study), the student "applies" each fix, and the session
+ends once the query is provably equivalent to the reference solution.
 
 Run with:  python examples/interactive_tutor.py [--question Q4]
 """
 
 import argparse
 
-from repro import QrHint
+from repro import QrHint, Solver, generate_witness
 from repro.engine import appear_equivalent
+from repro.sqlparser.rewrite import parse_query_extended
+from repro.witness import format_witness_lines
 from repro.workloads import dblp
 
 
@@ -25,6 +29,17 @@ def tutor_session(question):
     print("   ", " ".join(question.wrong_sql.split()))
 
     report = QrHint(catalog, question.correct_sql, question.wrong_sql).run()
+
+    witness = generate_witness(
+        catalog,
+        parse_query_extended(question.correct_sql, catalog),
+        parse_query_extended(question.wrong_sql, catalog),
+        solver=Solver(),
+    )
+    if witness is not None:
+        print("\nTutor shows why the query is wrong:")
+        for line in format_witness_lines(witness):
+            print("  " + line)
 
     print("\nTutor (Qr-Hint) responds, stage by stage:")
     step = 0

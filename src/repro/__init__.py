@@ -24,6 +24,7 @@ from repro.engine import Database, appear_equivalent, execute
 from repro.query import ResolvedQuery
 from repro.solver import Solver
 from repro.sqlparser import parse_query
+from repro.witness import Witness, generate_witness
 
 __version__ = "1.0.0"
 
@@ -38,8 +39,10 @@ __all__ = [
     "SqlType",
     "StageResult",
     "Table",
+    "Witness",
     "appear_equivalent",
     "execute",
+    "generate_witness",
     "grade",
     "parse_query",
     "repair_where",

@@ -1,8 +1,9 @@
-"""Command-line interface: hint, batch-grade, or serve.
+"""Command-line interface: hint, witness, batch-grade, or serve.
 
 Subcommands::
 
     repro hint --schema schema.json --target target.sql --working wrong.sql
+    repro witness --schema schema.json --target target.sql --working wrong.sql
     repro grade-batch --schema schema.json --target target.sql \
                       --submissions subs.json --processes 4
     repro grade-batch --workload userstudy --question Q4 --count 200
@@ -10,10 +11,12 @@ Subcommands::
 
 ``hint`` is the default: invocations that start with a flag (the historic
 one-shot interface, ``python -m repro --schema ... --working ...``) are
-routed to it unchanged.
+routed to it unchanged.  ``witness`` produces a tiny executor-verified
+database instance on which the wrong and reference queries visibly
+disagree.
 
-Exit codes: ``0`` success, ``1`` differential verification failed,
-``2`` parse/resolution (or other pipeline) error.
+Exit codes: ``0`` success, ``1`` differential verification failed (or no
+witness found), ``2`` parse/resolution (or other pipeline) error.
 
 The schema file maps table names to [name, type] column pairs::
 
@@ -37,7 +40,7 @@ EXIT_OK = 0
 EXIT_VERIFY_FAILED = 1
 EXIT_ERROR = 2
 
-COMMANDS = ("hint", "grade-batch", "serve")
+COMMANDS = ("hint", "witness", "grade-batch", "serve")
 
 
 def load_catalog(path):
@@ -106,6 +109,30 @@ def build_parser():
         "clauses, propagations) after the run",
     )
     hint.set_defaults(func=cmd_hint)
+
+    witness = sub.add_parser(
+        "witness",
+        help="produce a tiny counterexample database showing the two "
+        "queries disagree",
+    )
+    _add_schema_target_args(witness)
+    witness.add_argument("--working", help="file with the wrong query")
+    witness.add_argument("--working-sql", help="wrong query inline")
+    witness.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for unconstrained column fills and the fallback "
+        "search (default 0; witnesses are deterministic per seed)",
+    )
+    witness.add_argument(
+        "--trials", type=int, default=600,
+        help="fallback differential-search budget (default 600)",
+    )
+    witness.add_argument(
+        "--max-rows", type=int, default=3,
+        help="per-table row cap on the emitted witness (default 3)",
+    )
+    witness.add_argument("--json", dest="json_out", help="write witness JSON here")
+    witness.set_defaults(func=cmd_witness)
 
     batch = sub.add_parser(
         "grade-batch",
@@ -217,6 +244,50 @@ def cmd_hint(args):
     if args.solver_stats:
         _print_solver_stats(solver)
     return code
+
+
+# ----------------------------------------------------------------------
+# witness
+# ----------------------------------------------------------------------
+
+
+def cmd_witness(args):
+    from repro.witness import format_witness_lines, generate_witness, witness_to_dict
+
+    try:
+        catalog = load_catalog(args.schema)
+        target = parse_query_extended(
+            _read_sql(args, "target", "target_sql", "target"), catalog
+        )
+        working = parse_query_extended(
+            _read_sql(args, "working", "working_sql", "working"), catalog
+        )
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    witness = generate_witness(
+        catalog,
+        target,
+        working,
+        solver=Solver(),
+        seed=args.seed,
+        max_rows_per_table=args.max_rows,
+        trials=args.trials,
+    )
+    if witness is None:
+        print("No witness found: the queries agreed on every candidate "
+              "instance (they may be equivalent).")
+        return EXIT_VERIFY_FAILED
+    print("\n".join(format_witness_lines(witness)))
+    print(f"\nsource: {witness.source} "
+          f"({'solver model' if witness.source == 'model' else 'guided differential search'}), "
+          f"generated in {witness.elapsed:.3f}s")
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(witness_to_dict(witness), handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return EXIT_OK
 
 
 # ----------------------------------------------------------------------

@@ -3,6 +3,13 @@
 Values are drawn from small shared pools (keyed by column name) so that
 join conditions are frequently satisfied and random instances actually
 differentiate inequivalent queries.
+
+Randomness is fully seed-driven end to end: the generator owns a
+``random.Random(seed)`` (or a caller-supplied ``rng``), and both
+:meth:`DataGenerator.random_value` and :meth:`DataGenerator.random_instance`
+accept explicit overrides, so a specific instance or column fill can be
+reproduced in isolation -- the witness subsystem relies on this to make
+fallback fills deterministic across runs.
 """
 
 from __future__ import annotations
@@ -20,37 +27,54 @@ class DataGenerator:
     """Deterministic (seeded) random instance generator for a catalog."""
 
     def __init__(self, catalog, seed=0, max_rows=4, numeric_range=(0, 6),
-                 string_pool=None):
+                 string_pool=None, rng=None):
         self.catalog = catalog
-        self.random = random.Random(seed)
+        self.seed = seed
+        self.random = rng if rng is not None else random.Random(seed)
         self.max_rows = max_rows
         self.numeric_range = numeric_range
         self.string_pool = list(string_pool or _DEFAULT_STRINGS)
 
-    def random_value(self, column):
+    def random_value(self, column, rng=None):
+        """A random value for ``column``, from ``rng`` or the shared stream."""
+        rng = rng if rng is not None else self.random
         if column.type == SqlType.STRING:
-            return self.random.choice(self.string_pool)
+            return rng.choice(self.string_pool)
         if column.type == SqlType.BOOL:
-            return self.random.random() < 0.5
+            return rng.random() < 0.5
         low, high = self.numeric_range
-        value = self.random.randint(low, high)
-        if column.type == SqlType.FLOAT and self.random.random() < 0.3:
+        value = rng.randint(low, high)
+        if column.type == SqlType.FLOAT and rng.random() < 0.3:
             return Fraction(value * 2 + 1, 2)  # occasionally non-integral
         return Fraction(value)
 
-    def random_instance(self):
-        """Generate one random database instance."""
+    def random_instance(self, seed=None):
+        """Generate one random database instance.
+
+        With an explicit ``seed`` the instance is a pure function of
+        ``(catalog, pools, seed)``, independent of how much of the shared
+        stream was consumed before the call.
+        """
+        rng = self.random if seed is None else random.Random(seed)
         tables = {}
         for table in self.catalog:
-            num_rows = self.random.randint(0, self.max_rows)
+            num_rows = rng.randint(0, self.max_rows)
             rows = [
-                tuple(self.random_value(col) for col in table.columns)
+                tuple(self.random_value(col, rng) for col in table.columns)
                 for _ in range(num_rows)
             ]
             tables[table.name] = rows
         return Database(self.catalog, tables)
 
-    def instances(self, count):
-        """Yield ``count`` random instances."""
-        for _ in range(count):
-            yield self.random_instance()
+    def instances(self, count, seed=None):
+        """Yield ``count`` random instances.
+
+        With an explicit ``seed``, instance ``i`` is generated from the
+        derived seed ``f"{seed}:{i}"``, so any single trial of a run can
+        be regenerated without replaying the stream up to it.
+        """
+        for index in range(count):
+            if seed is None:
+                yield self.random_instance()
+            else:
+                yield self.random_instance(seed=f"{seed}:{index}")

@@ -14,7 +14,14 @@ full parse/resolve/solver cost per submission; this package amortizes it:
   the *unique* canonical submissions across workers and merges solver
   statistics.
 * :mod:`repro.service.server` -- a stdlib ``ThreadingHTTPServer`` JSON API
-  (``POST /assignments``, ``POST /grade``, ``GET /stats``).
+  (``POST /assignments``, ``POST /grade``, ``POST /witness``,
+  ``GET /stats``).
+
+Wrong submissions can additionally be served a *counterexample witness*
+(``witness=True`` / ``POST /witness``): a tiny executor-verified database
+instance on which the submission and the reference query visibly disagree
+(see :mod:`repro.witness`), cached alongside the hint reports by
+canonical form.
 """
 
 from repro.service.batch import BatchResult, GradeError, grade_batch

@@ -10,6 +10,10 @@ positionally (``_s0``, ``_s1``, ... in FROM order).
 
 The canonical :class:`~repro.query.ResolvedQuery` is a frozen dataclass of
 frozen dataclasses, hence hashable, and is used directly as the cache key.
+Derived artifacts ride in the same cache under composite keys: witness
+instances are stored as ``("witness", canonical)`` (with a sentinel for
+cached negative results), so hint reports and their counterexamples share
+one LRU budget and eviction policy.
 """
 
 from __future__ import annotations

@@ -8,8 +8,16 @@ exposes it over three routes served by a ``ThreadingHTTPServer``:
   ``{"schema": {...}, "target_sql": "..."}`` (schema in the same format as
   the CLI schema file), returns ``{"assignment_id": "a1", ...}``.
 * ``POST /grade`` -- grade a submission; body
-  ``{"assignment_id": "a1", "sql": "...", "show_fixes": false}``.
+  ``{"assignment_id": "a1", "sql": "...", "show_fixes": false,
+  "witness": false}`` (``"witness": true`` adds an executor-verified
+  counterexample instance to wrong submissions).
+* ``POST /witness`` -- just the counterexample; body
+  ``{"assignment_id": "a1", "sql": "..."}``.
 * ``GET /stats`` -- per-assignment cache/solver statistics.
+
+Request hardening: bodies above ``MAX_BODY_BYTES`` are rejected with 413,
+and POST requests whose ``Content-Length`` is absent or malformed get a
+400 (both close the connection -- the body framing cannot be trusted).
 
 Concurrency model: the threading server gives each request its own
 thread; the registry is guarded by a service-level lock and each grade
@@ -114,6 +122,26 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _content_length(self):
+        """Parse Content-Length, or None when absent.
+
+        A malformed (non-integer or negative) value is a 400: the body
+        framing cannot be trusted, so the connection is dropped after the
+        response instead of resynchronized.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return None
+        try:
+            length = int(raw)
+        except ValueError:
+            self.close_connection = True
+            raise ServiceError(400, "malformed Content-Length header")
+        if length < 0:
+            self.close_connection = True
+            raise ServiceError(400, "malformed Content-Length header")
+        return length
+
     def _drain_body(self):
         """Consume an unread request body so keep-alive stays in sync.
 
@@ -121,7 +149,10 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         socket, and the next request on the persistent connection would
         be parsed out of them.
         """
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = self._content_length() or 0
+        except ServiceError:
+            return  # malformed framing; _content_length closed the connection
         while length > 0:
             chunk = self.rfile.read(min(length, 65536))
             if not chunk:
@@ -129,7 +160,12 @@ class HintRequestHandler(BaseHTTPRequestHandler):
             length -= len(chunk)
 
     def _read_json(self):
-        length = int(self.headers.get("Content-Length") or 0)
+        length = self._content_length()
+        if length is None:
+            # No framing at all: nothing safe to read on a keep-alive
+            # socket, so reject and drop the connection.
+            self.close_connection = True
+            raise ServiceError(400, "missing Content-Length header")
         if length > MAX_BODY_BYTES:
             # Too large to drain; drop the connection after responding.
             self.close_connection = True
@@ -172,6 +208,8 @@ class HintRequestHandler(BaseHTTPRequestHandler):
             self._dispatch(self._post_assignment)
         elif self.path == "/grade":
             self._dispatch(self._post_grade)
+        elif self.path == "/witness":
+            self._dispatch(self._post_witness)
         else:
             self._drain_body()
             self._send_json(404, {"error": f"no such route {self.path}"})
@@ -216,12 +254,32 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         assignment_id = self._require(payload, "assignment_id")
         sql = self._require(payload, "sql")
         show_fixes = bool(payload.get("show_fixes", False))
+        witness = bool(payload.get("witness", False))
         session = self.server.service.session(assignment_id)
-        result = session.grade(sql)
+        result = session.grade(sql, witness=witness)
         body = result.to_dict(show_fixes=show_fixes)
         body["assignment_id"] = assignment_id
         body["text"] = result.text(show_fixes=show_fixes)
         return 200, body
+
+    def _post_witness(self):
+        from repro.witness import witness_to_dict
+
+        payload = self._read_json()
+        assignment_id = self._require(payload, "assignment_id")
+        sql = self._require(payload, "sql")
+        session = self.server.service.session(assignment_id)
+        result = session.grade(sql, witness=True)
+        return 200, {
+            "assignment_id": assignment_id,
+            "all_passed": result.all_passed,
+            "found": result.witness is not None,
+            "witness": (
+                witness_to_dict(result.witness)
+                if result.witness is not None
+                else None
+            ),
+        }
 
     def _get_stats(self):
         self._drain_body()
@@ -246,7 +304,8 @@ def serve(host="127.0.0.1", port=8100, service=None, quiet=False):
     server = make_server(host, port, service)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro hint service listening on http://{bound_host}:{bound_port}")
-    print("routes: POST /assignments  POST /grade  GET /stats  GET /healthz")
+    print("routes: POST /assignments  POST /grade  POST /witness  "
+          "GET /stats  GET /healthz")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -35,9 +35,20 @@ from repro.service.cache import (
 )
 from repro.solver import Solver
 from repro.sqlparser.rewrite import parse_query_extended
+from repro.witness import (
+    format_witness_lines,
+    generate_witness,
+    remap_witness,
+    witness_to_dict,
+)
 
 _CANON_TOKEN = re.compile(r"\b(_s\d+)\b")
 _SQL_LITERAL = re.compile(r"'[^']*'")
+
+#: Cached marker for "witness generation ran and found nothing", so the
+#: expensive search is not repeated per duplicate submission.  A plain
+#: string keeps worker-pickled cache payloads trivially serializable.
+_NO_WITNESS = "__no_witness__"
 
 
 def _remap_text(text, inverse):
@@ -87,6 +98,11 @@ class GradeResult:
     cached: bool
     pipeline_elapsed: float  # cost of the underlying QrHint run
     elapsed: float  # wall time spent serving this submission
+    #: Executor-verified counterexample instance, or None.  Only populated
+    #: when the caller asked for one (``witness=True``); with witnesses
+    #: disabled every rendering below is byte-identical to pre-witness
+    #: behaviour.
+    witness: object = None
 
     @property
     def hints(self):
@@ -118,13 +134,16 @@ class GradeResult:
                     ],
                 }
             )
-        return {
+        payload = {
             "all_passed": self.all_passed,
             "stages": stages,
             "final_sql": self.final_sql,
             "cached": self.cached,
             "elapsed": self.elapsed,
         }
+        if self.witness is not None:
+            payload["witness"] = witness_to_dict(self.witness)
+        return payload
 
 
 def format_grade_lines(result, show_fixes=False):
@@ -143,6 +162,9 @@ def format_grade_lines(result, show_fixes=False):
     lines.append("")
     lines.append("Query after applying all repairs:")
     lines.append(f"  {result.final_sql}")
+    if result.witness is not None:
+        lines.append("")
+        lines.extend(format_witness_lines(result.witness))
     return lines
 
 
@@ -220,6 +242,7 @@ class AssignmentSession:
         optimized=True,
         cache_size=256,
         solver=None,
+        witness_seed=0,
     ):
         self.catalog = catalog
         self.assignment_id = assignment_id
@@ -235,8 +258,10 @@ class AssignmentSession:
         self.cache = ArtifactCache(cache_size)
         self.lock = threading.RLock()
         self._solver_baseline = self.solver.stats_snapshot()
+        self.witness_seed = witness_seed
         self.submissions = 0
         self.pipeline_runs = 0
+        self.witness_runs = 0  # generate_witness invocations (cache misses)
         self.elapsed_total = 0.0
         self.pipeline_elapsed_total = 0.0
         self.created_at = time.time()
@@ -260,12 +285,18 @@ class AssignmentSession:
         inverse = {canon: orig for orig, canon in mapping.items()}
         return canonical, inverse
 
-    def grade(self, submission, _prepared=None):
+    def grade(self, submission, witness=False, _prepared=None):
         """Grade one submission; returns a :class:`GradeResult`.
 
         Parse/resolution errors propagate as :class:`repro.errors.ReproError`.
         ``_prepared`` lets the batch grader pass the ``prepare()`` output it
         already computed for deduplication, skipping the second parse.
+
+        With ``witness=True`` a wrong submission's result also carries an
+        executor-verified counterexample instance (when one is found).
+        Witnesses are cached in the same artifact cache as reports, keyed
+        by ``("witness", canonical form)``, so duplicate and
+        alpha-equivalent submissions share one generation run.
         """
         start = time.perf_counter()
         sql = submission if isinstance(submission, str) else submission.to_sql()
@@ -276,6 +307,9 @@ class AssignmentSession:
             if not cached:
                 report = self.grade_canonical(canonical)
                 self.cache.put(canonical, report)
+            witness_obj = None
+            if witness and not report.all_passed:
+                witness_obj = self.witness_canonical(canonical)
             self.submissions += 1
             elapsed = time.perf_counter() - start
             self.elapsed_total += elapsed
@@ -291,6 +325,12 @@ class AssignmentSession:
             report.final_query,
             _disambiguate(inverse, report.final_query),
         )
+        if witness_obj is not None:
+            # Pinned-cell labels are in the canonical namespace; rewrite
+            # them with the same inverse mapping the hints go through.
+            witness_obj = remap_witness(
+                witness_obj, lambda text: _remap_text(text, inverse)
+            )
         return GradeResult(
             submission_sql=sql,
             all_passed=report.all_passed,
@@ -299,7 +339,28 @@ class AssignmentSession:
             cached=cached,
             pipeline_elapsed=report.elapsed,
             elapsed=elapsed,
+            witness=witness_obj,
         )
+
+    def witness_canonical(self, canonical):
+        """Counterexample for an already-canonical query, via the cache.
+
+        Returns the (canonical-namespace) witness or None; negative
+        results are cached too, so a hopeless search runs once per form.
+        """
+        key = ("witness", canonical)
+        entry = self.cache.get(key)
+        if entry is None:
+            entry = generate_witness(
+                self.catalog,
+                self.target,
+                canonical,
+                solver=self.solver,
+                seed=self.witness_seed,
+            )
+            self.witness_runs += 1
+            self.cache.put(key, entry if entry is not None else _NO_WITNESS)
+        return None if entry == _NO_WITNESS else entry
 
     def grade_canonical(self, canonical):
         """Run the full pipeline on an already-canonical query (no cache)."""
@@ -337,6 +398,7 @@ class AssignmentSession:
             "target_sql": " ".join(self.target_sql.split()),
             "submissions": self.submissions,
             "pipeline_runs": self.pipeline_runs,
+            "witness_runs": self.witness_runs,
             "elapsed_total": self.elapsed_total,
             "pipeline_elapsed_total": self.pipeline_elapsed_total,
             "cache": self.cache.stats(),

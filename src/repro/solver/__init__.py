@@ -2,6 +2,7 @@
 
 from repro.solver.smt import (
     Solver,
+    TheoryModel,
     default_solver,
     is_equiv,
     is_satisfiable,
@@ -10,6 +11,7 @@ from repro.solver.smt import (
 
 __all__ = [
     "Solver",
+    "TheoryModel",
     "default_solver",
     "is_equiv",
     "is_satisfiable",

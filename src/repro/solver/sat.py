@@ -53,6 +53,7 @@ class SatSolver:
         self._act_inc = 1.0
         self._heap = []  # lazy max-heap of (-activity, var)
         self._phase = {}  # var -> saved polarity
+        self._last_model = None  # snapshot of the most recent SAT solve
         self.stats = {
             "solve_calls": 0,
             "decisions": 0,
@@ -64,6 +65,17 @@ class SatSolver:
     @property
     def num_vars(self):
         return self._num_vars
+
+    def model(self):
+        """A copy of the most recent satisfying assignment, or None.
+
+        The snapshot is taken when :meth:`solve` returns SAT (the search
+        itself backtracks to level 0 before returning, so the assignment
+        is not recoverable from the trail) and is cleared by an UNSAT
+        result.  Adding clauses does not invalidate the snapshot -- it
+        describes the database as of the last solve.
+        """
+        return dict(self._last_model) if self._last_model is not None else None
 
     def new_var(self):
         self.ensure_vars(self._num_vars + 1)
@@ -126,6 +138,7 @@ class SatSolver:
         every future call.
         """
         self.stats["solve_calls"] += 1
+        self._last_model = None
         if self._unsat:
             return None
         self._backtrack(0)
@@ -174,6 +187,7 @@ class SatSolver:
                     for v in range(1, self._num_vars + 1)
                 }
                 self._phase.update(model)
+                self._last_model = dict(model)
                 self._backtrack(0)
                 return model
             self.stats["decisions"] += 1

@@ -15,6 +15,8 @@ everywhere, which is the guarantee Qr-Hint's correctness requires.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.errors import SolverLimitError
 from repro.logic.formulas import (
     And,
@@ -31,11 +33,43 @@ from repro.logic.formulas import (
 from repro.logic.terms import Term
 from repro.solver.atoms import CanonicalLiteral, canonicalize
 from repro.solver.sat import SatSolver
-from repro.solver.theory import check_literals
+from repro.solver.theory import check_literals, find_model as theory_find_model
 from repro.solver.tseitin import CnfBuilder, assert_skeleton
 
 SAT = "sat"
 UNSAT = "unsat"
+
+
+@dataclass
+class TheoryModel:
+    """A satisfying assignment surfaced through :meth:`Solver.find_model`.
+
+    The stable model-snapshot shape is three layers deep, mirroring how the
+    DPLL(T) loop builds it: the SAT core's decision trail yields ``atoms``
+    (canonical theory atom -> asserted polarity), and the theory solvers
+    concretize those literals into ``values`` (base term -> Fraction/str).
+    ``complete`` is False when opaque atoms (non-linear arithmetic, exotic
+    operands) were abstracted away -- the valuation then satisfies every
+    non-opaque literal but carries no guarantee for the opaque ones, so
+    consumers must verify end to end (the witness verifier does).
+    """
+
+    atoms: dict  # Atom -> bool polarity in the accepted propositional model
+    values: dict = field(default_factory=dict)  # Term -> Fraction | str
+    complete: bool = True
+
+    def value(self, term, default=None):
+        return self.values.get(term, default)
+
+    def env(self):
+        """The valuation keyed by term string form.
+
+        Matches :func:`repro.logic.evaluate.eval_term`'s environment
+        convention (``Var`` -> its name, ``AggCall`` -> its rendered call),
+        so ``eval_formula(formula, model.env())`` re-checks the model when
+        every variable of ``formula`` is constrained.
+        """
+        return {str(term): value for term, value in self.values.items()}
 
 
 class Solver:
@@ -114,6 +148,70 @@ class Solver:
         return self.entails(lower, formula, context) and self.entails(
             formula, upper, context
         )
+
+    def find_model(self, formula, context=(), max_attempts=32):
+        """A :class:`TheoryModel` of ``context AND formula``, or None.
+
+        Runs the same lazy DPLL(T) loop as the decision primitives but, on
+        a theory-consistent propositional model, asks the theory solvers to
+        concretize the literal conjunction into term values.  Models whose
+        concretization fails (e.g. rational-only solutions the integer
+        tightening cannot rule out, or exotic string pattern combinations)
+        are blocked and the search continues, up to ``max_attempts`` such
+        rejections; None therefore means "no model surfaced", which is
+        weaker than UNSAT whenever opaque atoms or extraction limits are in
+        play.  Results are deterministic per formula (a fresh SAT core is
+        built per call; only the memoized theory-literal cache is shared).
+        """
+        goal = conj(*context, formula)
+        self.stats["sat_calls"] += 1
+        atom_vars = {}
+        sat = SatSolver()
+        builder = CnfBuilder(sink=sat.add_clause)
+        skeleton = self._abstract(goal, atom_vars, builder)
+        if skeleton is False:
+            return None
+        if skeleton is True:
+            return TheoryModel(atoms={}, values={}, complete=True)
+
+        assert_skeleton(skeleton, builder)
+        sat.ensure_vars(builder.num_vars)
+        var_to_atom = {var: atom for atom, var in atom_vars.items()}
+        atom_var_order = sorted(var_to_atom)
+        attempts = 0
+        try:
+            for _ in range(self.max_conflicts):
+                model = sat.solve()
+                if model is None:
+                    return None
+                literals = tuple(
+                    (var_to_atom[var], model[var]) for var in atom_var_order
+                )
+                if self._theory_ok(literals):
+                    extracted = theory_find_model(literals)
+                    if extracted is not None:
+                        values, complete = extracted
+                        return TheoryModel(
+                            atoms=dict(literals),
+                            values=dict(values),
+                            complete=complete,
+                        )
+                    attempts += 1
+                    if attempts >= max_attempts:
+                        return None
+                    core = literals  # block this exact propositional model
+                else:
+                    core = self._shrink_core(literals)
+                sat.add_clause(
+                    [
+                        -(atom_vars[atom]) if positive else atom_vars[atom]
+                        for atom, positive in core
+                    ]
+                )
+            raise SolverLimitError("exceeded conflict budget")
+        finally:
+            self.stats["learned_clauses"] += sat.stats["learned_clauses"]
+            self.stats["propagations"] += sat.stats["propagations"]
 
     # ------------------------------------------------------------------
     # Core loop

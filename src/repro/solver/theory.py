@@ -4,6 +4,11 @@ The lazy SMT loop hands this module a full truth assignment over the
 canonical atoms; we dispatch the numeric literals to the Fourier-Motzkin
 solver and the string literals to the union-find/LIKE solver.  Opaque atoms
 are unconstrained and always consistent.
+
+:func:`find_model` runs the same dispatch but asks each theory for a
+concrete assignment; the merged term valuation (plus a completeness flag
+that records whether opaque atoms were ignored) backs the counterexample
+witness subsystem.
 """
 
 from __future__ import annotations
@@ -12,18 +17,24 @@ from repro.solver import arith, strings
 from repro.solver.arith import Constraint, EQ, LE, LT
 
 
-def check_literals(literals):
-    """Return True iff the conjunction of (Atom, positive) pairs is SAT."""
+def _partition(literals):
+    """Split literals into per-theory constraint lists.
+
+    Returns ``(numeric_constraints, numeric_disequalities, string_equalities,
+    string_disequalities, string_likes, opaque_count)``, or None when the
+    same atom is asserted with both polarities.
+    """
     polarity_seen = {}
     for atom, positive in literals:
         if polarity_seen.setdefault(atom, positive) != positive:
-            return False  # the same atom asserted both ways
+            return None  # the same atom asserted both ways
 
     numeric_constraints = []
     numeric_disequalities = []
     string_equalities = []
     string_disequalities = []
     string_likes = []
+    opaque_count = 0
 
     for atom, positive in literals:
         kind = atom.kind
@@ -49,9 +60,26 @@ def check_literals(literals):
             term, pattern = atom.payload
             string_likes.append((term, pattern, positive))
         elif kind == "opaque":
-            continue
+            opaque_count += 1
         else:
             raise ValueError(f"unknown atom kind {kind!r}")
+    return (
+        numeric_constraints,
+        numeric_disequalities,
+        string_equalities,
+        string_disequalities,
+        string_likes,
+        opaque_count,
+    )
+
+
+def check_literals(literals):
+    """Return True iff the conjunction of (Atom, positive) pairs is SAT."""
+    parts = _partition(literals)
+    if parts is None:
+        return False
+    (numeric_constraints, numeric_disequalities, string_equalities,
+     string_disequalities, string_likes, _) = parts
 
     if numeric_constraints or numeric_disequalities:
         if not arith.is_satisfiable(numeric_constraints, numeric_disequalities):
@@ -62,3 +90,33 @@ def check_literals(literals):
         ):
             return False
     return True
+
+
+def find_model(literals):
+    """A concrete valuation realizing the literal conjunction, or None.
+
+    Returns ``(values, complete)`` where ``values`` maps base terms (Vars,
+    AggCalls, string terms) to Fractions/strings and ``complete`` is False
+    when opaque atoms were present (they are ignored, so the valuation does
+    not guarantee them -- callers must verify end to end).
+    """
+    parts = _partition(literals)
+    if parts is None:
+        return None
+    (numeric_constraints, numeric_disequalities, string_equalities,
+     string_disequalities, string_likes, opaque_count) = parts
+
+    values = {}
+    if numeric_constraints or numeric_disequalities:
+        numeric = arith.find_model(numeric_constraints, numeric_disequalities)
+        if numeric is None:
+            return None
+        values.update(numeric)
+    if string_equalities or string_disequalities or string_likes:
+        stringy = strings.find_model(
+            string_equalities, string_disequalities, string_likes
+        )
+        if stringy is None:
+            return None
+        values.update(stringy)
+    return values, opaque_count == 0

@@ -1,0 +1,312 @@
+"""End-to-end witness generation: model -> instance -> verify -> shrink.
+
+:func:`generate_witness` turns a (target, working) query pair into a tiny
+concrete database on which the two queries *visibly* disagree -- the
+executable counterpart of a hint.  Two strategies run in order:
+
+1. **solver-model path** -- when the FROM multisets match, the target is
+   unified onto the working aliases and the single-row divergence formula
+   (:mod:`repro.witness.divergence`) is handed to
+   :meth:`~repro.solver.Solver.find_model`; the theory model is
+   concretized into one row per alias.  This is what finds witnesses for
+   selective predicates (``area = 'Systems'``) that random data
+   essentially never satisfies.
+2. **guided differential search** -- a seeded, constants-aware
+   :class:`~repro.engine.datagen.DataGenerator` samples small instances
+   until one differentiates the queries.  This covers multi-row-only
+   divergences (``COUNT(*)`` vs ``COUNT(DISTINCT ...)``, grouping splits,
+   FROM-multiset mismatches) that have no single-row model.
+
+Every candidate is executor-verified (the result bags must differ) and
+then greedily shrunk; a witness is only emitted if it fits the per-table
+row cap, so everything the service returns is small enough to read.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+
+from repro.core.table_mapping import unify_target
+from repro.engine.database import Database
+from repro.engine.executor import execute
+from repro.errors import SolverLimitError
+from repro.logic.formulas import conj
+from repro.solver import Solver
+from repro.witness.divergence import divergence_formula, emits_single_row
+from repro.witness.instance import build_instance, guided_generator
+from repro.witness.shrink import shrink_instance
+from repro.witness.verify import first_divergent_stage, results_differ
+
+MAX_ROWS_PER_TABLE = 3
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A verified counterexample instance (frozen, cache- and pickle-safe).
+
+    ``tables`` holds only the non-empty tables as ``(name, column_names,
+    rows)`` with each row a value tuple; ``assignments`` lists the
+    model-pinned ``alias.column = value`` cells (canonical alias
+    namespace; the service remaps them to the submitter's aliases).
+    """
+
+    tables: tuple  # ((table, (col, ...), ((value, ...), ...)), ...)
+    wrong_result: tuple  # result bag of the submitted query
+    target_result: tuple  # result bag of the reference query
+    stage: str  # earliest divergent artifact: FROM/WHERE/GROUP BY/HAVING/SELECT
+    source: str  # "model" (solver-driven) | "search" (guided differential)
+    assignments: tuple = ()
+    elapsed: float = field(default=0.0, compare=False)
+
+    @property
+    def max_rows(self):
+        return max((len(rows) for _, _, rows in self.tables), default=0)
+
+    @property
+    def total_rows(self):
+        return sum(len(rows) for _, _, rows in self.tables)
+
+
+def _json_value(value):
+    if isinstance(value, Fraction):
+        return int(value) if value.denominator == 1 else float(value)
+    if isinstance(value, bool):
+        return value
+    return str(value)
+
+
+def witness_to_dict(witness):
+    """JSON-safe rendering (used by the HTTP API and ``--json``)."""
+    return {
+        "tables": [
+            {
+                "table": name,
+                "columns": list(columns),
+                "rows": [[_json_value(v) for v in row] for row in rows],
+            }
+            for name, columns, rows in witness.tables
+        ],
+        "wrong_result": [[_json_value(v) for v in row] for row in witness.wrong_result],
+        "target_result": [[_json_value(v) for v in row] for row in witness.target_result],
+        "stage": witness.stage,
+        "source": witness.source,
+        "assignments": list(witness.assignments),
+        "elapsed": witness.elapsed,
+    }
+
+
+def _format_row(row):
+    return "(" + ", ".join(
+        str(v) if not isinstance(v, Fraction)
+        else (str(int(v)) if v.denominator == 1 else str(float(v)))
+        for v in row
+    ) + ")"
+
+
+def format_witness_lines(witness):
+    """Human-readable rendering shared by the CLI and the hint text."""
+    lines = [
+        f"Counterexample instance ({witness.total_rows} row(s); "
+        f"divergence first visible in {witness.stage}):"
+    ]
+    for name, columns, rows in witness.tables:
+        lines.append(f"  {name}({', '.join(columns)})")
+        for row in rows:
+            lines.append(f"    {_format_row(row)}")
+    wrong = ", ".join(_format_row(r) for r in witness.wrong_result)
+    target = ", ".join(_format_row(r) for r in witness.target_result)
+    lines.append(f"  your query returns:      {wrong or '(no rows)'}")
+    lines.append(f"  reference query returns: {target or '(no rows)'}")
+    return lines
+
+
+def remap_witness(witness, remap_text):
+    """Rewrite the witness's alias-qualified strings via ``remap_text``."""
+    return replace(
+        witness,
+        assignments=tuple(remap_text(a) for a in witness.assignments),
+    )
+
+
+def _value_alternatives(generator, column, value):
+    """A few deterministic replacement values differing from ``value``."""
+    if column.type.value == "STRING":
+        return [p for p in generator.string_pool if p != value][:2]
+    if column.type.value == "BOOL":
+        return [not value]
+    return [value + 1, value - 1]
+
+
+def _augmented_candidates(base, generator):
+    """Variants of ``base`` with one extra row.
+
+    The extra row is an exact duplicate of an existing row, or a duplicate
+    with a single column changed.  This is the deterministic bridge
+    between the single-row model path and blind random search: starting
+    from a model where *both* queries emit (joins and selective constants
+    already satisfied), one extra near-duplicate row is exactly what
+    multiplicity-style divergences need -- ``COUNT(*)`` vs ``COUNT
+    (DISTINCT ...)``, grouping splits, duplicate-sensitive DISTINCT.
+    """
+    catalog = base.catalog
+    for table_name in sorted(base.tables):
+        rows = base.tables[table_name]
+        table = catalog.table(table_name)
+        for row in rows:
+            extras = [dict(row)]
+            for column in table.columns:
+                name = column.name.lower()
+                for alt in _value_alternatives(generator, column, row[name]):
+                    mutated = dict(row)
+                    mutated[name] = alt
+                    extras.append(mutated)
+            for extra in extras:
+                candidate = {
+                    t: list(r) + ([extra] if t == table_name else [])
+                    for t, r in base.tables.items()
+                }
+                yield Database(catalog, candidate)
+
+
+def generate_witness(
+    catalog,
+    target,
+    working,
+    *,
+    solver=None,
+    seed=0,
+    max_rows_per_table=MAX_ROWS_PER_TABLE,
+    trials=600,
+):
+    """A verified, shrunk :class:`Witness` for the pair, or None.
+
+    Deterministic for a fixed ``(target, working, seed)``: the solver
+    model search is order-independent and the fallback generator is
+    seeded.  Returns None when the queries appear equivalent (no
+    divergence surfaced) or when no witness fits ``max_rows_per_table``.
+    """
+    start = time.perf_counter()
+    solver = solver or Solver()
+
+    unified = None
+    if target.tables_multiset() == working.tables_multiset():
+        try:
+            unified, _ = unify_target(target, working, catalog)
+        except ValueError:
+            unified = None
+    exec_target = unified if unified is not None else target
+
+    def diverges(database):
+        return results_differ(working, exec_target, database)
+
+    def shrunk_under_cap(candidate):
+        """Shrink a diverging candidate; None if it still busts the cap."""
+        shrunk = shrink_instance(candidate, diverges)
+        if any(
+            len(rows) > max_rows_per_table for rows in shrunk.tables.values()
+        ):
+            return None
+        return shrunk
+
+    chosen = None
+    source = None
+    assignments = ()
+    if unified is not None:
+        try:
+            model = solver.find_model(divergence_formula(working, unified))
+        except SolverLimitError:
+            model = None
+        if model is not None:
+            candidate, model_assignments = build_instance(
+                catalog, (working, unified), model, seed=seed
+            )
+            if diverges(candidate):
+                shrunk = shrunk_under_cap(candidate)
+                if shrunk is not None:
+                    chosen, source, assignments = (
+                        shrunk, "model", model_assignments
+                    )
+    if chosen is None and unified is not None:
+        # Model-seeded augmentation: concretize a model on which BOTH
+        # queries emit, then look for a one-extra-row perturbation that
+        # splits them (multiplicity/grouping divergences have no
+        # single-row model but are usually one near-duplicate row away).
+        try:
+            both = solver.find_model(
+                conj(emits_single_row(working), emits_single_row(unified))
+            )
+        except SolverLimitError:
+            both = None
+        if both is not None:
+            base, base_assignments = build_instance(
+                catalog, (working, unified), both, seed=seed
+            )
+            cross_product_size = 1
+            for entry in working.from_entries:
+                cross_product_size *= max(1, len(base.rows(entry.table)))
+            if cross_product_size <= 1024:  # keep per-candidate executions cheap
+                generator = guided_generator(
+                    catalog, (working, unified), seed=seed,
+                    max_rows=max_rows_per_table,
+                )
+                for candidate in itertools.islice(
+                    _augmented_candidates(base, generator), 64
+                ):
+                    if diverges(candidate):
+                        shrunk = shrunk_under_cap(candidate)
+                        if shrunk is None:
+                            continue
+                        chosen, source, assignments = (
+                            shrunk, "model", base_assignments
+                        )
+                        break
+    if chosen is None:
+        # The search generator draws at most max_rows_per_table rows per
+        # table, so its shrunk candidates always fit the cap.
+        generator = guided_generator(
+            catalog, (working, exec_target), seed=seed,
+            max_rows=max_rows_per_table,
+        )
+        for candidate in generator.instances(trials, seed=seed):
+            if diverges(candidate):
+                chosen = shrink_instance(candidate, diverges)
+                source = "search"
+                break
+    if chosen is None:
+        return None
+
+    stage = (
+        first_divergent_stage(working, unified, chosen)
+        if unified is not None
+        else "FROM"
+    )
+    wrong_result = execute(working, chosen)
+    target_result = execute(exec_target, chosen)
+    tables = []
+    for name in sorted(chosen.tables):
+        rows = chosen.tables[name]
+        if not rows:
+            continue
+        table = catalog.table(name)
+        tables.append(
+            (
+                table.name,
+                tuple(column.name for column in table.columns),
+                tuple(
+                    tuple(row[column.name.lower()] for column in table.columns)
+                    for row in rows
+                ),
+            )
+        )
+    return Witness(
+        tables=tuple(tables),
+        wrong_result=tuple(tuple(row) for row in wrong_result),
+        target_result=tuple(tuple(row) for row in target_result),
+        stage=stage,
+        source=source,
+        assignments=assignments,
+        elapsed=time.perf_counter() - start,
+    )

@@ -1,0 +1,45 @@
+"""Greedy witness minimization.
+
+Drops one tuple at a time -- largest tables first, so self-join fodder
+shrinks before anything else -- re-running the divergence check after
+every removal and keeping only removals that preserve it.  The loop
+restarts after any successful removal because dropping a tuple can
+unlock removals that were previously load-bearing (a cross-product
+partner disappears).  Terminates at a local minimum: no single remaining
+tuple can be removed without the two queries agreeing again.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+
+
+def shrink_instance(database, diverges):
+    """Smallest instance reachable by single-row removals.
+
+    ``diverges`` is a predicate over :class:`Database`; it must hold for
+    ``database`` and keeps holding for the returned instance.
+    """
+    catalog = database.catalog
+    rows = {name: list(table_rows) for name, table_rows in database.tables.items()}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(rows, key=lambda n: (-len(rows[n]), n)):
+            index = 0
+            while index < len(rows[name]):
+                candidate_rows = {
+                    table: (
+                        table_rows[:index] + table_rows[index + 1:]
+                        if table == name
+                        else list(table_rows)
+                    )
+                    for table, table_rows in rows.items()
+                }
+                if diverges(Database(catalog, candidate_rows)):
+                    rows[name].pop(index)
+                    changed = True
+                else:
+                    index += 1
+    return Database(catalog, rows)

@@ -1,0 +1,73 @@
+"""Executor-based verification of witness instances.
+
+A witness is only emitted after the relational engine confirms it: the
+working and target queries are both *run* on the instance and their
+result bags must differ.  When the two queries share an alias namespace
+the verifier additionally attributes the divergence to the earliest
+pipeline artifact that differs, matching the stage ladder of the paper:
+row membership for WHERE (``FW``), group partitioning for GROUP BY
+(``FWG``), surviving groups for HAVING (``FWGH``), and output tuples for
+SELECT.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.engine.executor import (
+    bag_equal,
+    execute,
+    filtered_rows,
+    grouped_rows,
+    having_groups,
+)
+
+
+def _value_key(value):
+    if isinstance(value, Fraction):
+        return (0, float(value))
+    return (1, str(value))
+
+
+def _env_key(env):
+    return tuple(sorted((name, _value_key(value)) for name, value in env.items()))
+
+
+def results_differ(working, target, database):
+    """True iff the two queries' result bags differ on ``database``."""
+    return not bag_equal(execute(working, database), execute(target, database))
+
+
+def _partition_key(query, database):
+    """The grouping partition as a comparable multiset of env multisets."""
+    return sorted(
+        tuple(sorted(_env_key(env) for env in envs))
+        for _, envs in grouped_rows(query, database)
+    )
+
+
+def _survivor_key(query, database):
+    """The HAVING-surviving partition, same shape as the grouping key."""
+    return sorted(
+        tuple(sorted(_env_key(env) for env in envs))
+        for _, envs, _ in having_groups(query, database)
+    )
+
+
+def first_divergent_stage(working, target, database):
+    """Earliest stage artifact on which the queries differ.
+
+    Requires a shared alias namespace (unify the target first).  Returns
+    ``"WHERE"``, ``"GROUP BY"``, ``"HAVING"``, or ``"SELECT"``; callers
+    label FROM-multiset mismatches themselves (the namespaces cannot be
+    unified in that case).
+    """
+    fw_working = sorted(_env_key(env) for env in filtered_rows(working, database))
+    fw_target = sorted(_env_key(env) for env in filtered_rows(target, database))
+    if fw_working != fw_target:
+        return "WHERE"
+    if _partition_key(working, database) != _partition_key(target, database):
+        return "GROUP BY"
+    if _survivor_key(working, database) != _survivor_key(target, database):
+        return "HAVING"
+    return "SELECT"

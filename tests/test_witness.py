@@ -1,0 +1,462 @@
+"""Tests for the counterexample witness subsystem and its integrations."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.engine.database import Database
+from repro.engine.datagen import DataGenerator
+from repro.engine.executor import bag_equal, execute
+from repro.service import AssignmentSession, grade_batch, make_server
+from repro.service.cache import canonicalize, rename_query_aliases
+from repro.solver import Solver
+from repro.sqlparser.rewrite import parse_query_extended
+from repro.witness import (
+    Witness,
+    format_witness_lines,
+    generate_witness,
+    results_differ,
+    shrink_instance,
+    witness_to_dict,
+)
+from repro.witness.divergence import single_row_term
+from repro.workloads import dblp
+
+
+def _witness_db(witness, catalog):
+    """Rebuild a Database from the emitted witness tables."""
+    return Database(
+        catalog,
+        {name: [list(row) for row in rows] for name, _, rows in witness.tables},
+    )
+
+
+def _parse(sql, catalog):
+    return parse_query_extended(sql, catalog)
+
+
+class TestSingleRowSpecialization:
+    def test_aggregates_collapse(self, beers_catalog):
+        query = _parse(
+            "SELECT bar, COUNT(*), SUM(price), MAX(price) FROM Serves "
+            "GROUP BY bar HAVING COUNT(DISTINCT beer) <= 1",
+            beers_catalog,
+        )
+        count_star, sum_price, max_price = query.select[1:]
+        assert str(single_row_term(count_star)) == "1"
+        assert str(single_row_term(sum_price)) == "serves.price"
+        assert str(single_row_term(max_price)) == "serves.price"
+
+
+class TestGenerateWitness:
+    def test_where_boundary_found_by_model(self, beers_catalog):
+        target = _parse("SELECT beer FROM Serves WHERE price > 2", beers_catalog)
+        wrong = _parse("SELECT beer FROM Serves WHERE price >= 2", beers_catalog)
+        witness = generate_witness(beers_catalog, target, wrong, solver=Solver())
+        assert witness is not None
+        assert witness.source == "model"
+        assert witness.stage == "WHERE"
+        # The divergence needs a row exactly on the boundary.
+        [(_, columns, rows)] = witness.tables
+        price = rows[0][columns.index("price")]
+        assert price == 2
+
+    def test_witness_is_executor_verified(self, beers_catalog):
+        target = _parse("SELECT beer FROM Serves WHERE price > 2", beers_catalog)
+        wrong = _parse("SELECT beer FROM Serves WHERE price >= 2", beers_catalog)
+        witness = generate_witness(beers_catalog, target, wrong, solver=Solver())
+        database = _witness_db(witness, beers_catalog)
+        assert not bag_equal(execute(wrong, database), execute(target, database))
+        assert list(map(tuple, execute(wrong, database))) == list(
+            witness.wrong_result
+        )
+        assert list(map(tuple, execute(target, database))) == list(
+            witness.target_result
+        )
+
+    def test_count_distinct_needs_augmentation(self, beers_catalog):
+        target = _parse(
+            "SELECT bar, COUNT(DISTINCT beer) FROM Serves GROUP BY bar",
+            beers_catalog,
+        )
+        wrong = _parse(
+            "SELECT bar, COUNT(*) FROM Serves GROUP BY bar", beers_catalog
+        )
+        witness = generate_witness(beers_catalog, target, wrong, solver=Solver())
+        assert witness is not None
+        assert witness.source == "model"
+        database = _witness_db(witness, beers_catalog)
+        assert not bag_equal(execute(wrong, database), execute(target, database))
+
+    def test_equivalent_queries_yield_none(self, beers_catalog):
+        target = _parse("SELECT beer FROM Serves WHERE price > 2", beers_catalog)
+        same = _parse("SELECT beer FROM Serves WHERE 2 < price", beers_catalog)
+        assert generate_witness(
+            beers_catalog, target, same, solver=Solver(), trials=50
+        ) is None
+
+    def test_from_mismatch_labelled_from(self, beers_catalog):
+        target = _parse(
+            "SELECT s.beer FROM Serves s, Likes l WHERE s.beer = l.beer",
+            beers_catalog,
+        )
+        wrong = _parse("SELECT beer FROM Serves", beers_catalog)
+        witness = generate_witness(beers_catalog, target, wrong, solver=Solver())
+        assert witness is not None
+        assert witness.stage == "FROM"
+
+    def test_deterministic_per_seed(self, dblp_catalog):
+        question = dblp.Q4
+        target = _parse(question.correct_sql, dblp_catalog)
+        wrong = _parse(question.wrong_sql, dblp_catalog)
+        first = generate_witness(dblp_catalog, target, wrong, solver=Solver())
+        second = generate_witness(dblp_catalog, target, wrong, solver=Solver())
+        assert first == second
+
+    @pytest.mark.parametrize("question", dblp.QUESTIONS, ids=lambda q: q.qid)
+    def test_userstudy_questions_covered(self, dblp_catalog, question):
+        target = _parse(question.correct_sql, dblp_catalog)
+        wrong = _parse(question.wrong_sql, dblp_catalog)
+        witness = generate_witness(dblp_catalog, target, wrong, solver=Solver())
+        assert witness is not None
+        assert witness.max_rows <= 3
+        database = _witness_db(witness, dblp_catalog)
+        assert not bag_equal(execute(wrong, database), execute(target, database))
+
+    def test_rendering_roundtrips(self, beers_catalog):
+        target = _parse("SELECT beer FROM Serves WHERE price > 2", beers_catalog)
+        wrong = _parse("SELECT beer FROM Serves WHERE price >= 2", beers_catalog)
+        witness = generate_witness(beers_catalog, target, wrong, solver=Solver())
+        payload = witness_to_dict(witness)
+        assert json.dumps(payload)  # JSON-safe
+        assert payload["stage"] == "WHERE"
+        lines = format_witness_lines(witness)
+        assert any("Serves" in line or "serves" in line for line in lines)
+
+
+class TestShrinker:
+    def test_shrinks_to_local_minimum(self, beers_catalog):
+        target = _parse("SELECT beer FROM Serves WHERE price > 2", beers_catalog)
+        wrong = _parse("SELECT beer FROM Serves WHERE price >= 2", beers_catalog)
+        bloated = Database(
+            beers_catalog,
+            {
+                "Serves": [
+                    ("b1", "ipa", 2), ("b2", "lager", 5),
+                    ("b3", "stout", 1), ("b4", "pils", 2),
+                ],
+                "Likes": [("amy", "ipa")],
+                "Frequents": [],
+            },
+        )
+
+        def diverges(db):
+            return results_differ(wrong, target, db)
+
+        assert diverges(bloated)
+        shrunk = shrink_instance(bloated, diverges)
+        assert diverges(shrunk)
+        assert sum(len(r) for r in shrunk.tables.values()) == 1
+        [row] = shrunk.rows("serves")
+        assert row["price"] == 2
+
+
+class TestSessionWitness:
+    TARGET = "SELECT beer FROM Serves WHERE price > 2"
+    WRONG = "SELECT beer FROM Serves WHERE price >= 2"
+
+    def test_grade_attaches_witness(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, self.TARGET)
+        result = session.grade(self.WRONG, witness=True)
+        assert isinstance(result.witness, Witness)
+        assert result.witness.stage == "WHERE"
+        assert "witness" in result.to_dict()
+        assert "Counterexample instance" in result.text()
+
+    def test_witness_cached_across_duplicates_and_aliases(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, self.TARGET)
+        first = session.grade(self.WRONG, witness=True)
+        second = session.grade(
+            "select  BEER from serves WHERE price >= 2", witness=True
+        )
+        third = session.grade(
+            "SELECT x.beer FROM Serves x WHERE x.price >= 2", witness=True
+        )
+        assert session.witness_runs == 1
+        assert first.witness == second.witness
+        # Same tables; only the alias-qualified assignment labels differ.
+        assert third.witness.tables == first.witness.tables
+
+    def test_no_witness_generation_for_correct_submission(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, self.TARGET)
+        result = session.grade(self.TARGET, witness=True)
+        assert result.all_passed and result.witness is None
+        assert session.witness_runs == 0
+
+    def test_negative_result_cached(self, beers_catalog):
+        # A wrong-but-unwitnessable pair: force failure via trials budget by
+        # reusing an equivalent-but-differently-written pair graded wrong at
+        # the DISTINCT stage.
+        session = AssignmentSession(
+            beers_catalog, "SELECT DISTINCT beer FROM Serves"
+        )
+        sql = "SELECT beer FROM Serves"
+        first = session.grade(sql, witness=True)
+        second = session.grade(sql, witness=True)
+        assert session.witness_runs == 1
+        assert first.witness == second.witness
+
+    def test_disabled_witness_keeps_output_identical(self, beers_catalog):
+        plain = AssignmentSession(beers_catalog, self.TARGET)
+        enabled = AssignmentSession(beers_catalog, self.TARGET)
+        without = plain.grade(self.WRONG)
+        with_witness = enabled.grade(self.WRONG, witness=True)
+        assert without.witness is None
+        assert "witness" not in without.to_dict()
+        # The hint payloads agree exactly; only the witness rides along.
+        stripped = dict(with_witness.to_dict())
+        stripped.pop("witness")
+        base = without.to_dict()
+        base.pop("elapsed"), stripped.pop("elapsed")
+        assert base == stripped
+        assert with_witness.text().startswith(without.text())
+
+    def test_batch_results_carry_no_witness(self, beers_catalog):
+        batch = grade_batch(
+            beers_catalog, self.TARGET, [self.WRONG, self.WRONG], processes=1
+        )
+        assert all(result.witness is None for result in batch.results)
+
+
+class TestAliasRoundTrips:
+    def test_student_alias_colliding_with_canonical_prefix(self, beers_catalog):
+        # The student's own alias is literally `_s1` on the FIRST entry:
+        # canonicalization must still be invertible.
+        query = _parse(
+            "SELECT _s1.beer FROM Serves _s1, Likes _s0 "
+            "WHERE _s1.beer = _s0.beer AND _s1.price >= 2",
+            beers_catalog,
+        )
+        canonical, mapping = canonicalize(query)
+        assert mapping == {"_s1": "_s0", "_s0": "_s1"}
+        inverse = {canon: orig for orig, canon in mapping.items()}
+        assert rename_query_aliases(canonical, inverse) == query
+
+    def test_swapped_canonical_aliases_roundtrip(self, beers_catalog):
+        query = _parse(
+            "SELECT _s0.beer FROM Likes _s2, Serves _s0 "
+            "WHERE _s0.beer = _s2.beer",
+            beers_catalog,
+        )
+        canonical, mapping = canonicalize(query)
+        inverse = {canon: orig for orig, canon in mapping.items()}
+        assert rename_query_aliases(canonical, inverse) == query
+
+    def test_hints_rendered_in_submitter_namespace(self, beers_catalog):
+        session = AssignmentSession(
+            beers_catalog, "SELECT s.beer FROM Serves s WHERE s.price > 2"
+        )
+        result = session.grade(
+            "SELECT _s7.beer FROM Serves _s7 WHERE _s7.price >= 2"
+        )
+        assert any("_s7.price" in h.message for h in result.hints)
+        assert "_s0" not in result.final_sql
+
+    def test_witness_assignments_survive_inverse_remap(self, beers_catalog):
+        session = AssignmentSession(
+            beers_catalog, "SELECT s.beer FROM Serves s WHERE s.price > 2"
+        )
+        result = session.grade(
+            "SELECT mytab.beer FROM Serves mytab WHERE mytab.price >= 2",
+            witness=True,
+        )
+        assert result.witness is not None
+        assert any(a.startswith("mytab.price") for a in result.witness.assignments)
+        assert not any("_s0" in a for a in result.witness.assignments)
+
+    def test_witness_remap_handles_canonical_style_submitter_alias(
+        self, beers_catalog
+    ):
+        session = AssignmentSession(
+            beers_catalog, "SELECT s.beer FROM Serves s WHERE s.price > 2"
+        )
+        result = session.grade(
+            "SELECT _s3.beer FROM Serves _s3 WHERE _s3.price >= 2",
+            witness=True,
+        )
+        assert any(a.startswith("_s3.price") for a in result.witness.assignments)
+
+
+class TestDatagenSeeding:
+    def test_explicit_instance_seed_is_stream_independent(self, beers_catalog):
+        fresh = DataGenerator(beers_catalog, seed=0)
+        consumed = DataGenerator(beers_catalog, seed=0)
+        list(consumed.instances(5))  # advance the shared stream
+        a = fresh.random_instance(seed=42)
+        b = consumed.random_instance(seed=42)
+        assert a.tables == b.tables
+
+    def test_seeded_instances_reproducible(self, beers_catalog):
+        gen = DataGenerator(beers_catalog, seed=0)
+        first = [db.tables for db in gen.instances(3, seed=7)]
+        second = [db.tables for db in gen.instances(3, seed=7)]
+        assert first == second
+
+    def test_witness_seed_threaded_through(self, beers_catalog):
+        target = _parse("SELECT beer FROM Serves WHERE price > 2", beers_catalog)
+        wrong = _parse("SELECT beer FROM Serves WHERE price >= 2", beers_catalog)
+        a = generate_witness(beers_catalog, target, wrong, solver=Solver(), seed=9)
+        b = generate_witness(beers_catalog, target, wrong, solver=Solver(), seed=9)
+        assert a == b
+
+
+SCHEMA = {"Serves": [["bar", "STRING"], ["beer", "STRING"], ["price", "FLOAT"]]}
+TARGET = "SELECT beer FROM Serves WHERE price > 2"
+WRONG = "SELECT beer FROM Serves WHERE price >= 2"
+
+
+@pytest.fixture()
+def witness_server():
+    server = make_server(port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield host, port
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _post(host, port, path, payload):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(
+            "POST", path, json.dumps(payload).encode(),
+            {"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _raw_post(host, port, path, headers, body=b""):
+    """POST with full control over headers (to omit/malform Content-Length)."""
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.putrequest("POST", path)
+        for name, value in headers.items():
+            conn.putheader(name, value)
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestHttpWitness:
+    def _create(self, host, port):
+        status, body = _post(
+            host, port, "/assignments",
+            {"schema": SCHEMA, "target_sql": TARGET},
+        )
+        assert status == 201
+        return body["assignment_id"]
+
+    def test_witness_endpoint(self, witness_server):
+        host, port = witness_server
+        aid = self._create(host, port)
+        status, body = _post(
+            host, port, "/witness", {"assignment_id": aid, "sql": WRONG}
+        )
+        assert status == 200
+        assert body["found"] and not body["all_passed"]
+        assert body["witness"]["stage"] == "WHERE"
+        assert body["witness"]["tables"][0]["rows"]
+
+    def test_witness_endpoint_correct_submission(self, witness_server):
+        host, port = witness_server
+        aid = self._create(host, port)
+        status, body = _post(
+            host, port, "/witness", {"assignment_id": aid, "sql": TARGET}
+        )
+        assert status == 200
+        assert body["all_passed"] and not body["found"]
+        assert body["witness"] is None
+
+    def test_witness_endpoint_unknown_assignment_404(self, witness_server):
+        host, port = witness_server
+        status, body = _post(
+            host, port, "/witness", {"assignment_id": "missing", "sql": WRONG}
+        )
+        assert status == 404
+        assert "missing" in body["error"]
+
+    def test_grade_accepts_witness_flag(self, witness_server):
+        host, port = witness_server
+        aid = self._create(host, port)
+        status, body = _post(
+            host, port, "/grade",
+            {"assignment_id": aid, "sql": WRONG, "witness": True},
+        )
+        assert status == 200
+        assert body["witness"]["stage"] == "WHERE"
+        status, body = _post(
+            host, port, "/grade", {"assignment_id": aid, "sql": WRONG}
+        )
+        assert status == 200
+        assert "witness" not in body
+
+
+class TestHttpHardening:
+    def test_oversized_body_413(self, witness_server):
+        host, port = witness_server
+        status, body = _raw_post(
+            host, port, "/grade",
+            {"Content-Length": str(50_000_000),
+             "Content-Type": "application/json"},
+        )
+        assert status == 413
+        assert "too large" in body["error"]
+
+    def test_malformed_content_length_400(self, witness_server):
+        host, port = witness_server
+        status, body = _raw_post(
+            host, port, "/grade",
+            {"Content-Length": "not-a-number",
+             "Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert "malformed Content-Length" in body["error"]
+
+    def test_negative_content_length_400(self, witness_server):
+        host, port = witness_server
+        status, body = _raw_post(
+            host, port, "/grade",
+            {"Content-Length": "-5", "Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert "malformed Content-Length" in body["error"]
+
+    def test_absent_content_length_400(self, witness_server):
+        host, port = witness_server
+        status, body = _raw_post(
+            host, port, "/grade", {"Content-Type": "application/json"}
+        )
+        assert status == 400
+        assert "missing Content-Length" in body["error"]
+
+    def test_server_survives_hardening_rejections(self, witness_server):
+        host, port = witness_server
+        _raw_post(host, port, "/grade", {"Content-Length": "bogus"})
+        status, body = _post(
+            host, port, "/assignments",
+            {"schema": SCHEMA, "target_sql": TARGET},
+        )
+        assert status == 201
