@@ -8,25 +8,36 @@ kernel), so the perf trajectory stays machine-readable across PRs::
 
 The conjunctive-query SAT kernel is also run against a faithful copy of
 the seed recursive DPLL (kept below as ``SeedDpllSolver``) and the speedup
-of the CDCL-lite engine over it is reported and asserted (>= 3x).
+of the CDCL engine over it is reported and asserted (>= 3x).
+
+The script doubles as the CI perf-regression smoke: before overwriting
+``BENCH_solver.json`` it loads the committed numbers and fails if the
+``sat_conjunctive`` throughput fell below ``MIN_REGRESSION_RATIO`` (0.5x)
+of the committed value.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import random
 import sys
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
 from repro.core.minfix import map_atom_preds, min_fix
-from repro.logic.formulas import Comparison, conj
+from repro.logic.formulas import Comparison, conj, disj
 from repro.logic.terms import add, const, intvar
 from repro.solver import Solver
 from repro.solver.sat import SatSolver
 
 OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_solver.json"
+
+#: CI gate: fail when sat_conjunctive drops below this fraction of the
+#: committed BENCH_solver.json value (0.5x allows for runner-speed skew
+#: while still catching real order-of-magnitude regressions).
+MIN_REGRESSION_RATIO = 0.5
 
 
 # ----------------------------------------------------------------------
@@ -178,6 +189,46 @@ A, B, C, D, E, F = (intvar(n) for n in "ABCDEF")
 _CHAIN_VARS = (A, B, C, D, E, F)
 
 
+_RANDOM3_SEED = 0x5EED
+_RANDOM3_VARS = 100
+_RANDOM3_CLAUSES = 420  # ratio 4.2: conflict-heavy but tractable
+
+
+def _random3_instance():
+    rng = random.Random(_RANDOM3_SEED)
+    clauses = [
+        [rng.choice([1, -1]) * v
+         for v in rng.sample(range(1, _RANDOM3_VARS + 1), 3)]
+        for _ in range(_RANDOM3_CLAUSES)
+    ]
+    pool = [rng.choice([1, -1]) * v
+            for v in rng.sample(range(1, _RANDOM3_VARS + 1), 12)]
+    return clauses, pool
+
+
+def sat_random3_incremental_kernel(solver_cls=SatSolver):
+    """Random 3-CNF solved under growing assumption sequences.
+
+    One persistent solver answers 13 queries whose assumption lists are
+    prefixes of a fixed random literal pool, exercising first-UIP
+    learning, restarts, clause-database reduction, and the kept-trail
+    assumption-prefix reuse.  Returns the per-prefix verdicts; sanity
+    (and determinism) is asserted via UNSAT monotonicity.
+    """
+    clauses, pool = _random3_instance()
+    solver = solver_cls()
+    solver.ensure_vars(_RANDOM3_VARS)
+    for clause in clauses:
+        solver.add_clause(clause)
+    verdicts = []
+    for length in range(len(pool) + 1):
+        verdicts.append(solver.solve(pool[:length]) is not None)
+    # Assumption sets only grow, so satisfiability can only decay.
+    for earlier, later in zip(verdicts, verdicts[1:]):
+        assert earlier or not later, verdicts
+    return verdicts
+
+
 def smt_transitivity_kernel():
     """Fresh-solver UNSAT check of a 6-variable `<` cycle (theory-driven)."""
     solver = Solver()
@@ -200,6 +251,23 @@ def minfix_kernel():
     ]
     lower = conj(*atoms)
     upper = atoms[0] | atoms[1] | atoms[2] | atoms[3]
+    min_fix(lower, upper, solver)
+    return 1
+
+
+def minfix_large_kernel():
+    """One MinFix call over a 6-atom bound (64-row truth table + QM)."""
+    solver = Solver()
+    atoms = [
+        Comparison(">", A, const(5)),
+        Comparison("<", B, const(3)),
+        Comparison(">=", C, const(0)),
+        Comparison("<>", A, const(7)),
+        Comparison(">", B, const(-4)),
+        Comparison("<=", C, const(9)),
+    ]
+    lower = conj(*atoms)
+    upper = disj(*atoms)
     min_fix(lower, upper, solver)
     return 1
 
@@ -235,7 +303,17 @@ def _time_kernel(fn, min_seconds=0.6):
             return reps / elapsed, reps
 
 
+def _committed_baseline():
+    """sat_conjunctive ops/sec from the committed BENCH_solver.json."""
+    try:
+        committed = json.loads(OUT_PATH.read_text())
+        return committed["kernels"]["sat_conjunctive"]["ops_per_sec"]
+    except (OSError, KeyError, ValueError):
+        return None
+
+
 def main():
+    baseline = _committed_baseline()
     results = {}
 
     new_ops, _ = _time_kernel(lambda: sat_conjunctive_kernel(SatSolver))
@@ -250,21 +328,16 @@ def main():
     }
 
     for name, fn in [
+        ("sat_random3_incremental", sat_random3_incremental_kernel),
         ("smt_transitivity", smt_transitivity_kernel),
         ("minfix_small", minfix_kernel),
+        ("minfix_large", minfix_large_kernel),
         ("map_atom_preds", map_atom_preds_kernel),
     ]:
         ops, _ = _time_kernel(fn)
         results[name] = {"description": fn.__doc__.strip().splitlines()[0],
                          "ops_per_sec": round(ops, 3)}
 
-    payload = {
-        "python": sys.version.split()[0],
-        "kernels": results,
-    }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-
-    print(f"wrote {OUT_PATH}")
     for name, entry in results.items():
         line = f"  {name}: {entry['ops_per_sec']:.1f} ops/s"
         if "speedup_vs_seed" in entry:
@@ -274,9 +347,26 @@ def main():
             )
         print(line)
 
+    # Gate BEFORE overwriting BENCH_solver.json: a failed run must not
+    # replace the committed baseline with its own regressed numbers.
     assert speedup >= 3.0, (
         f"conjunctive SAT kernel speedup {speedup:.2f}x is below the 3x bar"
     )
+    if baseline:
+        ratio = new_ops / baseline
+        print(f"  sat_conjunctive vs committed baseline: {ratio:.2f}x "
+              f"(gate: >= {MIN_REGRESSION_RATIO}x)")
+        assert ratio >= MIN_REGRESSION_RATIO, (
+            f"sat_conjunctive {new_ops:.1f} ops/s fell below "
+            f"{MIN_REGRESSION_RATIO}x the committed {baseline:.1f} ops/s"
+        )
+
+    payload = {
+        "python": sys.version.split()[0],
+        "kernels": results,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
     return 0
 
 

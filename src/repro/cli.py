@@ -106,7 +106,8 @@ def build_parser():
         "--solver-stats",
         action="store_true",
         help="print SAT/SMT solver counters (calls, cache hit-rate, learned "
-        "clauses, propagations) after the run",
+        "clauses, propagations, restarts, clauses deleted, literals "
+        "minimized, theory-cache hits) after the run",
     )
     hint.set_defaults(func=cmd_hint)
 

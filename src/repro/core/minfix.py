@@ -174,7 +174,16 @@ def build_truth_table(mapping, lower, upper, solver, context=()):
 
 
 class _FeasibilityChecker:
-    """Feasibility of literal prefixes, with a theory-direct fast path."""
+    """Feasibility of literal prefixes, with a theory-direct fast path.
+
+    When every atom and context conjunct canonicalizes, prefix queries go
+    straight to the theory layer (no SAT search at all).  Otherwise a
+    single incremental :class:`~repro.solver.smt.FeasibilitySession` is
+    shared by the whole truth-table DFS: the context is encoded once, the
+    SAT trail persists between prefixes (consecutive DFS nodes share long
+    assumption prefixes), and theory lemmas learned under one prefix prune
+    every later one -- instead of a fresh feasibility solve per node.
+    """
 
     def __init__(self, mapping, solver, context):
         self.mapping = mapping
@@ -183,6 +192,7 @@ class _FeasibilityChecker:
         self._literals = self._try_canonicalize()
         self._context_prefix = None
         self._atom_pairs = None
+        self._session = None
         if self._literals is not None:
             atom_literals, context_literals = self._literals
             # Canonical-order the context once; per-prefix queries then just
@@ -239,11 +249,11 @@ class _FeasibilityChecker:
         return self.solver._theory_ok(tuple(literals))
 
     def _feasible_slow(self, assignment, length):
-        literals = []
-        for i in range(length):
-            atom = self.mapping.atoms[i]
-            literals.append(atom if assignment & (1 << i) else neg(atom))
-        return self.solver.is_satisfiable(conj(*literals), self.context)
+        if self._session is None:
+            self._session = self.solver.feasibility_session(
+                self.mapping.atoms, self.context
+            )
+        return self._session.feasible_prefix(assignment, length)
 
 
 def min_fix(lower, upper, solver, context=()):

@@ -1,31 +1,54 @@
-"""An iterative CDCL-lite SAT solver over CNF clauses.
+"""An iterative CDCL SAT solver over CNF clauses.
 
 Clauses are lists of non-zero integers; a positive integer ``v`` is the
 variable ``v``, a negative integer its negation (DIMACS convention).
 
-The engine replaces the original recursive DPLL with the machinery the lazy
-SMT loop actually needs to be fast:
+The engine implements the conflict-driven machinery the lazy SMT loop
+actually needs to be fast (the MiniSat/Glucose lineage):
 
-* **two-watched-literal propagation** -- each clause watches two of its
-  literals, so propagation touches only the clauses whose watch just became
-  false instead of rescanning the whole database per round;
-* **an explicit trail with decision levels** -- assignment order is a flat
-  list, backtracking pops a suffix; there is no Python recursion anywhere,
-  so solving never depends on the interpreter recursion limit;
-* **learned blocking clauses** -- every conflict records the negation of
-  the current decision sequence (the "last-decision cut"; true first-UIP
-  analysis is future work, see docs/solver.md).  After backtracking one
-  level the learned clause is unit and *propagates* the flipped branch, so
-  flips are consequences, not decisions, and later conflicts cut deeper;
-* **VSIDS-style branching** -- variables involved in recent conflicts get
-  their activity bumped and the bump grows geometrically, implemented as a
-  lazy max-heap tolerant of stale entries;
-* **phase saving** -- the last polarity of every variable is remembered and
-  used as the branch polarity, so successive models under an incremental
-  blocking-clause loop differ minimally (fewer theory checks upstream);
-* **incremental solving under assumptions** -- ``solve(assumptions)``
-  asserts assumptions as pseudo-decisions below the search, and the watch
-  lists, learned clauses, and saved phases all persist across calls.
+* **two-watched-literal propagation with blocker literals** -- each clause
+  watches two of its literals, so propagation touches only the clauses
+  whose watch just became false; every watcher entry carries a cached
+  *blocker* literal whose truth lets the visit skip the clause without
+  touching it at all (the overwhelmingly common case in blocking-clause
+  enumeration loops);
+* **flat array state** -- assignment truth is a single list indexed by
+  *literal* (negative literals index from the end, so ``assign[lit]`` is
+  the truth of the literal itself: ``True``/``False``/``None``), and
+  levels, reasons, phases, and activities are lists indexed by variable;
+  there is no Python recursion anywhere, so solving never depends on the
+  interpreter recursion limit;
+* **first-UIP conflict analysis** -- on conflict the implication graph is
+  walked backward from the conflicting clause, resolving on the clause
+  antecedents recorded per enqueue, until a single literal of the
+  conflict level remains (the first unique implication point).  The
+  learned clause asserts the negated UIP at its computed backjump level;
+* **recursive learned-clause minimization** -- literals of the learned
+  clause whose antecedent subgraph is dominated by the rest of the clause
+  (every path terminates in clause literals or level-0 facts) are dropped
+  before the clause is stored;
+* **an LBD-scored learned-clause database with periodic reduction** --
+  learned clauses carry their literal-block distance (number of distinct
+  decision levels); when the database outgrows its cap the worst half
+  (highest LBD, then longest) is deleted, keeping binary, glue
+  (LBD <= 2), and reason-locked clauses, and the cap grows geometrically
+  so completeness is preserved;
+* **Luby restarts with phase saving preserved** -- the search restarts
+  after ``restart_base * luby(i)`` conflicts; saved phases make the
+  restarted search replay the useful prefix cheaply;
+* **VSIDS branching with exponential decay** -- variables involved in
+  conflict analysis get their activity bumped and the bump grows
+  geometrically per conflict (equivalent to decaying all activities),
+  with a rescale of the whole table once counters approach overflow,
+  implemented as a lazy max-heap tolerant of stale entries;
+* **incremental solving under assumptions with trail reuse** --
+  ``solve(assumptions)`` asserts assumptions as pseudo-decisions below the
+  search; watch lists, learned clauses, and saved phases persist across
+  calls, and the trail itself is kept between calls whenever it is still
+  consistent (same assumption prefix, or clause additions that only
+  backjump as far as the new clause requires), so blocking-clause
+  enumeration loops do not re-derive the shared propagation prefix on
+  every call.
 """
 
 from __future__ import annotations
@@ -36,30 +59,71 @@ _ACTIVITY_DECAY = 0.95
 _ACTIVITY_LIMIT = 1e100
 
 
-class SatSolver:
-    """Incremental CDCL-lite solver (watched literals + learned clauses)."""
+class Clause(list):
+    """A clause in the database: the literal list plus learning metadata.
 
-    def __init__(self):
-        self._clauses = []  # clause database; watched literals in slots 0/1
-        self._watches = {}  # literal -> clause indices watching it
+    Positions 0 and 1 are the watched literals.  While the clause is the
+    recorded reason of an assignment, position 0 holds the propagated
+    literal (conflict analysis relies on this invariant).
+    """
+
+    __slots__ = ("learned", "lbd", "deleted")
+
+
+def _make_clause(literals, learned=False, lbd=0):
+    clause = Clause(literals)
+    clause.learned = learned
+    clause.lbd = lbd
+    clause.deleted = False
+    return clause
+
+
+def _luby(i):
+    """The ``i``-th term (1-based) of the Luby sequence: 1 1 2 1 1 2 4 ..."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class SatSolver:
+    """Incremental CDCL solver (watched literals, first-UIP, restarts)."""
+
+    def __init__(self, restart_base=64, reduce_base=300, reduce_growth=1.15):
+        self._clauses = []  # permanent clause database
+        self._learned_clauses = []  # deletable (learned / lemma) clauses
+        self._watches = {}  # literal -> [[clause, blocker], ...]
         self._num_vars = 0
-        self._assign = {}  # var -> bool (current partial assignment)
+        self._cap = 64  # allocated variable capacity of ``_assign``
+        self._assign = [None] * (2 * self._cap + 1)  # literal -> truth
+        self._levels = [0]  # var -> decision level of the assignment
+        self._reasons = [None]  # var -> antecedent Clause (propagations)
+        self._phase = [False]  # var -> saved polarity
+        self._activity = [0.0]  # var -> VSIDS activity
         self._trail = []  # assigned literals in assignment order
         self._trail_lim = []  # trail length at the start of each level
         self._qhead = 0  # propagation frontier into the trail
         self._pending = []  # unit literals awaiting top-level propagation
         self._unsat = False  # the database is unsatisfiable outright
-        self._activity = {}  # var -> VSIDS activity
         self._act_inc = 1.0
         self._heap = []  # lazy max-heap of (-activity, var)
-        self._phase = {}  # var -> saved polarity
         self._last_model = None  # snapshot of the most recent SAT solve
+        self._assumptions = []  # assumptions of the solve in progress
+        self._assumed = []  # assumptions backing the kept trail (last SAT)
+        self.restart_base = restart_base
+        self._luby_index = 1
+        self._max_learned = reduce_base
+        self._reduce_growth = reduce_growth
         self.stats = {
             "solve_calls": 0,
             "decisions": 0,
             "propagations": 0,
             "conflicts": 0,
             "learned_clauses": 0,
+            "restarts": 0,
+            "deleted_clauses": 0,
+            "minimized_literals": 0,
         }
 
     @property
@@ -69,11 +133,9 @@ class SatSolver:
     def model(self):
         """A copy of the most recent satisfying assignment, or None.
 
-        The snapshot is taken when :meth:`solve` returns SAT (the search
-        itself backtracks to level 0 before returning, so the assignment
-        is not recoverable from the trail) and is cleared by an UNSAT
-        result.  Adding clauses does not invalidate the snapshot -- it
-        describes the database as of the last solve.
+        The snapshot is taken when :meth:`solve` returns SAT and is
+        cleared by an UNSAT result.  Adding clauses does not invalidate
+        the snapshot -- it describes the database as of the last solve.
         """
         return dict(self._last_model) if self._last_model is not None else None
 
@@ -82,49 +144,144 @@ class SatSolver:
         return self._num_vars
 
     def ensure_vars(self, count):
-        while self._num_vars < count:
-            self._num_vars += 1
-            heappush(self._heap, (0.0, self._num_vars))
+        if count <= self._num_vars:
+            return
+        if count > self._cap:
+            new_cap = max(count, 2 * self._cap)
+            fresh = [None] * (2 * new_cap + 1)
+            assign = self._assign
+            for var in range(1, self._num_vars + 1):
+                fresh[var] = assign[var]
+                fresh[-var] = assign[-var]
+            self._assign = fresh
+            self._cap = new_cap
+        levels = self._levels
+        reasons = self._reasons
+        phase = self._phase
+        activity = self._activity
+        watches = self._watches
+        heap = self._heap
+        for var in range(self._num_vars + 1, count + 1):
+            levels.append(0)
+            reasons.append(None)
+            phase.append(False)
+            activity.append(0.0)
+            watches[var] = []
+            watches[-var] = []
+            heappush(heap, (0.0, var))
+        self._num_vars = count
 
     # ------------------------------------------------------------------
     # Clause addition
     # ------------------------------------------------------------------
 
     def add_clause(self, literals):
-        """Add a clause; an empty clause makes the instance trivially UNSAT.
+        """Add a permanent clause; an empty clause makes the DB UNSAT.
 
         Clauses may be added between ``solve`` calls; the watch lists and
         everything learned so far are kept.  The clause is simplified
-        against the permanent (level-0) assignment on the way in.
+        against the permanent (level-0) assignment on the way in, and the
+        trail is only unwound as far as the new clause forces (a clause
+        falsified by the current assignment triggers a backjump to the
+        level where it becomes unit, not a full restart) -- this is what
+        makes blocking-clause enumeration loops incremental.
         """
-        clause = sorted(set(literals), key=abs)
-        for i in range(len(clause) - 1):
-            if clause[i] == -clause[i + 1]:
+        self._add(literals, learned=False)
+
+    def add_learned_clause(self, literals):
+        """Add a deletable clause (a lemma, e.g. a theory blocking clause).
+
+        Semantically identical to :meth:`add_clause`, but the clause joins
+        the learned database and may be dropped by a later reduction; use
+        for clauses that are *implied* (re-derivable) rather than part of
+        the problem.
+        """
+        self._add(literals, learned=True)
+
+    def _add(self, literals, learned):
+        litset = set(literals)
+        top_var = 0
+        for lit in litset:
+            if -lit in litset:
                 return  # tautology
-        for lit in clause:
-            self.ensure_vars(abs(lit))
-        self._backtrack(0)
-        simplified = []
-        for lit in clause:
-            value = self._assign.get(abs(lit))
-            if value is None:
-                simplified.append(lit)
-            elif value == (lit > 0):
-                return  # satisfied by a permanent assignment
-            # else: permanently false literal; drop it
-        if not simplified:
-            self._unsat = True
-        elif len(simplified) == 1:
-            self._pending.append(simplified[0])
-        else:
-            self._attach(simplified)
+            var = lit if lit > 0 else -lit
+            if var > top_var:
+                top_var = var
+        self.ensure_vars(top_var)
+        assign = self._assign
+        levels = self._levels
+        while True:
+            # One pass: simplify against level-0 facts and classify the
+            # rest against the current (possibly deep) assignment.
+            non_false = []
+            false_lits = []
+            top = 0  # deepest false-literal level
+            deepest = 0  # a false literal at that level
+            for lit in litset:
+                value = assign[lit]
+                if value is None:
+                    non_false.append(lit)
+                    continue
+                lvl = levels[lit if lit > 0 else -lit]
+                if value:
+                    if lvl == 0:
+                        return  # satisfied by a permanent assignment
+                    non_false.append(lit)
+                    continue
+                if lvl == 0:
+                    continue  # permanently false literal; drop it
+                false_lits.append(lit)
+                if lvl > top:
+                    top = lvl
+                    deepest = lit
+            if len(non_false) >= 2:
+                clause = _make_clause(non_false + false_lits, learned,
+                                      lbd=len(non_false) + len(false_lits))
+                self._attach(clause)
+                return
+            if not false_lits:
+                self._backtrack(0)
+                if not non_false:
+                    self._unsat = True
+                else:
+                    self._pending.append(non_false[0])
+                return
+            if len(non_false) == 1:
+                # Unit (or already satisfied) under the current assignment:
+                # watch the non-false literal plus the deepest false one
+                # (a false second watch is sound here because the clause is
+                # being satisfied through the first watch right now; the
+                # deepest choice un-falsifies the watch soonest on churn).
+                w0 = non_false[0]
+                ordered = [w0, deepest]
+                ordered += [l for l in false_lits if l is not deepest]
+                made = _make_clause(ordered, learned, lbd=len(ordered))
+                self._attach(made)
+                if assign[w0] is None:
+                    self._enqueue(w0, made)
+                return
+            if len(false_lits) == 1:
+                self._backtrack(0)
+                self._pending.append(false_lits[0])
+                return
+            # Falsified by the current assignment: unwind just the deepest
+            # level, which un-falsifies the clause with minimal disruption
+            # (it becomes unit there when a single literal sat on top, and
+            # the re-classification pass then asserts it as a consequence).
+            # A surviving trail prefix still asserts the same assumption
+            # prefix (backjumps only pop a suffix), so ``_assumed`` stays
+            # valid -- ``solve`` clamps it by the remaining level count.
+            self._backtrack(top - 1)
 
     def _attach(self, clause):
-        index = len(self._clauses)
-        self._clauses.append(clause)
-        self._watches.setdefault(clause[0], []).append(index)
-        self._watches.setdefault(clause[1], []).append(index)
-        return index
+        if clause.learned:
+            self._learned_clauses.append(clause)
+        else:
+            self._clauses.append(clause)
+        first, second = clause[0], clause[1]
+        self._watches[first].append([clause, second])
+        self._watches[second].append([clause, first])
+        return clause
 
     # ------------------------------------------------------------------
     # Solving
@@ -133,181 +290,397 @@ class SatSolver:
     def solve(self, assumptions=()):
         """Return a model as {var: bool}, or None if unsatisfiable.
 
-        ``assumptions`` hold only for this call; clauses learned under them
-        include their negations, so everything learned stays valid for
-        every future call.
+        ``assumptions`` hold only for this call; clauses learned under
+        them are derived by resolution from the database alone, so
+        everything learned stays valid for every future call.  The trail
+        of a SAT result is kept; the next call backtracks only to the
+        longest assumption prefix shared with this one (full reuse for
+        assumption-free enumeration loops).
         """
         self.stats["solve_calls"] += 1
         self._last_model = None
         if self._unsat:
             return None
-        self._backtrack(0)
-        while self._pending:
-            if not self._enqueue(self._pending.pop()):
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            self.ensure_vars(lit if lit > 0 else -lit)
+        if self._pending:
+            self._backtrack(0)
+            self._assumed = []
+            while self._pending:
+                if not self._enqueue(self._pending.pop()):
+                    self._unsat = True
+                    return None
+            if self._propagate() is not None:
                 self._unsat = True
                 return None
-        if self._propagate() is not None:
-            self._unsat = True
-            return None
+        if assumptions or self._assumed:
+            # Keep the trail prefix whose pseudo-decision levels assert the
+            # same assumptions as this call; everything above must go.
+            shared = 0
+            old = self._assumed
+            limit = min(len(assumptions), len(old), len(self._trail_lim))
+            while shared < limit and assumptions[shared] == old[shared]:
+                shared += 1
+            self._backtrack(shared)
+        self._assumed = []
+        self._assumptions = assumptions
+        return self._search()
 
-        for lit in assumptions:
-            self.ensure_vars(abs(lit))
-            value = self._assign.get(abs(lit))
-            if value is not None:
-                if value != (lit > 0):
-                    self._backtrack(0)
-                    return None
-                continue
-            self._trail_lim.append(len(self._trail))
-            self._enqueue(lit)
-            if self._propagate() is not None:
-                # This assumption prefix is unsatisfiable; remember why.
-                self.stats["conflicts"] += 1
-                blocked = [-self._trail[pos] for pos in self._trail_lim]
-                self._backtrack(0)
-                self.stats["learned_clauses"] += 1
-                self.add_clause(blocked)
-                return None
-        return self._search(len(self._trail_lim))
-
-    def _search(self, num_assumptions):
+    def _search(self):
+        assumptions = self._assumptions
+        num_assumptions = len(assumptions)
+        assign = self._assign
+        conflicts_here = 0
+        restart_limit = self.restart_base * _luby(self._luby_index)
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats["conflicts"] += 1
-                for lit in conflict:
-                    self._bump(abs(lit))
-                if not self._resolve_conflict(num_assumptions):
+                self._act_inc /= _ACTIVITY_DECAY
+                conflicts_here += 1
+                if not self._trail_lim:
+                    # Conflict with no decisions at all: the DB is UNSAT.
+                    self._unsat = True
+                    return None
+                learned, backjump, lbd = self._analyze(conflict)
+                self._backtrack(backjump)
+                self._learn(learned, lbd)
+                continue
+            if conflicts_here >= restart_limit:
+                self.stats["restarts"] += 1
+                self._luby_index += 1
+                restart_limit = self.restart_base * _luby(self._luby_index)
+                conflicts_here = 0
+                self._backtrack(0)
+                # fall through: assumptions are re-asserted by the
+                # decision loop below, phases replay the useful prefix
+            if len(self._learned_clauses) >= self._max_learned:
+                self._reduce_db()
+            depth = len(self._trail_lim)
+            if depth < num_assumptions:
+                lit = assumptions[depth]
+                value = assign[lit]
+                if value is None:
+                    self._trail_lim.append(len(self._trail))
+                    self._enqueue(lit)
+                elif value:
+                    # Dummy level: keeps level k <-> assumption k aligned.
+                    self._trail_lim.append(len(self._trail))
+                else:
+                    # The assumption is falsified by the others + the DB.
+                    self._backtrack(0)
                     return None
                 continue
             var = self._pick_branch()
             if var is None:
-                model = {
-                    v: self._assign.get(v, False)
-                    for v in range(1, self._num_vars + 1)
-                }
-                self._phase.update(model)
-                self._last_model = dict(model)
-                self._backtrack(0)
+                # Every variable is assigned (the branch heap has a full
+                # safety-net scan), so the assignment *is* the model; the
+                # trail is kept, and saved phases need no refresh because
+                # ``_backtrack`` records polarities as literals are popped.
+                num = self._num_vars
+                model = dict(zip(range(1, num + 1), assign[1:num + 1]))
+                self._last_model = dict(model)  # caller may mutate theirs
+                self._assumed = assumptions
                 return model
             self.stats["decisions"] += 1
             self._trail_lim.append(len(self._trail))
-            self._enqueue(var if self._phase.get(var, False) else -var)
+            self._enqueue(var if self._phase[var] else -var)
 
-    def _resolve_conflict(self, num_assumptions):
-        """Learn the decision cut and flip; False means UNSAT for this call."""
-        learned = [-self._trail[pos] for pos in self._trail_lim]
-        self.stats["learned_clauses"] += 1
-        for lit in learned:
-            self._bump(abs(lit))
-        self._act_inc /= _ACTIVITY_DECAY
-        level = len(learned)
-        if level <= num_assumptions:
-            # The conflict depends on assumptions alone (or on nothing).
-            self._backtrack(0)
-            if learned:
-                self.add_clause(learned)
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict):
+        """First-UIP analysis: learned clause, backjump level, and LBD.
+
+        Resolves the conflicting clause backward along the trail on the
+        recorded antecedents until exactly one literal of the conflict
+        level remains.  The learned clause is ``[-UIP] + rest`` with the
+        deepest literal of ``rest`` in the first-watch slot, asserting at
+        ``max(level(rest))``.
+        """
+        levels = self._levels
+        reasons = self._reasons
+        trail = self._trail
+        current = len(self._trail_lim)
+        seen = set()
+        learned = [0]  # slot 0 becomes the asserting (negated UIP) literal
+        counter = 0
+        index = len(trail)
+        p = None
+        reason_lits = conflict
+        start = 0  # the conflict clause contributes every literal
+        while True:
+            for k in range(start, len(reason_lits)):
+                q = reason_lits[k]
+                var = q if q > 0 else -q
+                if var in seen:
+                    continue
+                lvl = levels[var]
+                if lvl == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if lvl == current:
+                    counter += 1
+                else:
+                    learned.append(q)
+            while True:
+                index -= 1
+                p = trail[index]
+                if (p if p > 0 else -p) in seen:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason_lits = reasons[p if p > 0 else -p]
+            start = 1  # antecedent slot 0 is the resolved literal itself
+        learned[0] = -p
+        if len(learned) > 2:
+            self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0, 1
+        max_i = 1
+        max_lvl = levels[abs(learned[1])]
+        for i in range(2, len(learned)):
+            lvl = levels[abs(learned[i])]
+            if lvl > max_lvl:
+                max_lvl = lvl
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        lbd = len({levels[abs(q)] for q in learned[1:]}) + 1
+        return learned, max_lvl, lbd
+
+    def _minimize(self, learned, seen):
+        """Recursive clause minimization: drop dominated literals.
+
+        A literal is redundant when every path of its antecedent subgraph
+        terminates in a level-0 fact or another literal of the clause
+        (``seen`` doubles as the memo of proven-redundant variables).
+        """
+        kept = [learned[0]]
+        removed = 0
+        for lit in learned[1:]:
+            if self._redundant(lit, seen):
+                removed += 1
             else:
-                self._unsat = True
-            return False
-        self._backtrack(level - 1)
-        asserting = learned[-1]
-        if len(learned) >= 2:
-            # Watch the asserting literal and the deepest remaining decision.
-            self._attach([asserting, learned[-2]] + learned[:-2])
-        self._enqueue(asserting)
+                kept.append(lit)
+        if removed:
+            self.stats["minimized_literals"] += removed
+            learned[:] = kept
+
+    def _redundant(self, lit, seen):
+        reasons = self._reasons
+        levels = self._levels
+        reason = reasons[lit if lit > 0 else -lit]
+        if reason is None:
+            return False  # a decision (or assumption): not derivable
+        stack = [reason]
+        added = []
+        while stack:
+            clause = stack.pop()
+            for k in range(1, len(clause)):
+                q = clause[k]
+                var = q if q > 0 else -q
+                if var in seen or levels[var] == 0:
+                    continue
+                antecedent = reasons[var]
+                if antecedent is None:
+                    for v in added:
+                        seen.discard(v)
+                    return False
+                seen.add(var)
+                added.append(var)
+                stack.append(antecedent)
         return True
+
+    def _learn(self, learned, lbd):
+        """Store the analyzed clause and assert its UIP literal."""
+        self.stats["learned_clauses"] += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0])
+            return
+        clause = _make_clause(learned, learned=True, lbd=lbd)
+        self._attach(clause)
+        self._enqueue(learned[0], clause)
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self):
+        """Delete the worst half of the learned clauses (by LBD, length).
+
+        Binary clauses, glue clauses (LBD <= 2), and clauses locked as the
+        reason of a current assignment survive.  The cap grows
+        geometrically after every reduction, so only finitely many
+        deletions can ever happen on a fixed instance (termination).
+        """
+        learned = self._learned_clauses
+        reasons = self._reasons
+        locked = set()
+        for lit in self._trail:
+            reason = reasons[lit if lit > 0 else -lit]
+            if reason is not None:
+                locked.add(id(reason))
+        learned.sort(key=lambda c: (c.lbd, len(c)))
+        keep = len(learned) // 2
+        kept = []
+        deleted = 0
+        for i, clause in enumerate(learned):
+            if (i < keep or clause.lbd <= 2 or len(clause) == 2
+                    or id(clause) in locked):
+                kept.append(clause)
+            else:
+                clause.deleted = True
+                deleted += 1
+        if deleted:
+            self._learned_clauses = kept
+            watches = self._watches
+            for lit, watchers in watches.items():
+                if watchers:
+                    watches[lit] = [
+                        entry for entry in watchers if not entry[0].deleted
+                    ]
+            self.stats["deleted_clauses"] += deleted
+        self._max_learned = int(self._max_learned * self._reduce_growth) + 1
 
     # ------------------------------------------------------------------
     # Propagation / trail
     # ------------------------------------------------------------------
 
-    def _enqueue(self, lit):
-        var = abs(lit)
-        value = self._assign.get(var)
+    def _enqueue(self, lit, reason=None):
+        assign = self._assign
+        value = assign[lit]
         if value is not None:
-            return value == (lit > 0)
-        self._assign[var] = lit > 0
+            return value
+        assign[lit] = True
+        assign[-lit] = False
+        var = lit if lit > 0 else -lit
+        self._levels[var] = len(self._trail_lim)
+        if reason is not None:
+            self._reasons[var] = reason
         self._trail.append(lit)
         self.stats["propagations"] += 1
         return True
 
     def _propagate(self):
-        """Propagate until fixpoint; return a conflicting clause or None."""
+        """Propagate until fixpoint; return a conflicting clause or None.
+
+        Watcher entries are ``[clause, blocker]`` pairs edited in place
+        (swap-remove); a true blocker skips the clause with a single
+        array probe, and unit enqueues are inlined.
+        """
         assign = self._assign
-        clauses = self._clauses
         watches = self._watches
-        while self._qhead < len(self._trail):
-            false_lit = -self._trail[self._qhead]
-            self._qhead += 1
-            watchers = watches.get(false_lit)
+        trail = self._trail
+        levels = self._levels
+        reasons = self._reasons
+        depth = len(self._trail_lim)
+        qhead = self._qhead
+        enqueued = 0
+        conflict = None
+        while qhead < len(trail):
+            false_lit = -trail[qhead]
+            qhead += 1
+            watchers = watches[false_lit]
             if not watchers:
                 continue
-            kept = []
-            for position, ci in enumerate(watchers):
-                clause = clauses[ci]
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
+            i = 0
+            end = len(watchers)
+            while i < end:
+                entry = watchers[i]
+                if assign[entry[1]] is True:
+                    i += 1  # blocker satisfied: clause already true
+                    continue
+                clause = entry[0]
                 first = clause[0]
-                value = assign.get(abs(first))
-                if value is not None and value == (first > 0):
-                    kept.append(ci)  # satisfied by the other watch
+                if first == false_lit:
+                    first = clause[1]
+                    clause[0] = first
+                    clause[1] = false_lit
+                value = assign[first]
+                if value is True:
+                    entry[1] = first  # cache the satisfied watch
+                    i += 1
                     continue
                 for k in range(2, len(clause)):
                     other = clause[k]
-                    v = assign.get(abs(other))
-                    if v is None or v == (other > 0):
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches.setdefault(other, []).append(ci)
+                    if assign[other] is not False:
+                        clause[1] = other
+                        clause[k] = false_lit
+                        watches[other].append(entry)
                         break
                 else:
-                    kept.append(ci)
-                    if value is None:
-                        self._enqueue(first)  # clause is unit
-                    else:
-                        kept.extend(watchers[position + 1:])
-                        watches[false_lit] = kept
-                        return clause  # both watches false: conflict
-            watches[false_lit] = kept
-        return None
+                    if value is False:
+                        conflict = clause  # both watches false
+                        break
+                    assign[first] = True  # clause is unit
+                    assign[-first] = False
+                    var = first if first > 0 else -first
+                    levels[var] = depth
+                    reasons[var] = clause
+                    trail.append(first)
+                    enqueued += 1
+                    i += 1
+                    continue
+                end -= 1  # watch moved: swap-remove from this list
+                watchers[i] = watchers[end]
+                watchers.pop()
+            if conflict is not None:
+                break
+        self._qhead = qhead
+        self.stats["propagations"] += enqueued
+        return conflict
 
-    def _backtrack(self, level):
-        if len(self._trail_lim) <= level:
+    def _backtrack(self, depth):
+        if len(self._trail_lim) <= depth:
             return
-        target = self._trail_lim[level]
-        for lit in reversed(self._trail[target:]):
-            var = abs(lit)
-            self._phase[var] = lit > 0
-            del self._assign[var]
-            heappush(self._heap, (-self._activity.get(var, 0.0), var))
-        del self._trail[target:]
-        del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        target = self._trail_lim[depth]
+        trail = self._trail
+        assign = self._assign
+        reasons = self._reasons
+        phase = self._phase
+        activity = self._activity
+        heap = self._heap
+        for lit in reversed(trail[target:]):
+            var = lit if lit > 0 else -lit
+            phase[var] = lit > 0
+            assign[lit] = None
+            assign[-lit] = None
+            reasons[var] = None
+            heappush(heap, (-activity[var], var))
+        del trail[target:]
+        del self._trail_lim[depth:]
+        self._qhead = len(trail)
 
     # ------------------------------------------------------------------
     # Branching heuristic
     # ------------------------------------------------------------------
 
     def _bump(self, var):
-        activity = self._activity.get(var, 0.0) + self._act_inc
-        self._activity[var] = activity
-        if activity > _ACTIVITY_LIMIT:
-            for v in self._activity:
-                self._activity[v] *= 1.0 / _ACTIVITY_LIMIT
-            self._act_inc *= 1.0 / _ACTIVITY_LIMIT
-            activity = self._activity[var]
-        if var not in self._assign:
-            heappush(self._heap, (-activity, var))
+        activity = self._activity
+        bumped = activity[var] + self._act_inc
+        activity[var] = bumped
+        if bumped > _ACTIVITY_LIMIT:
+            scale = 1.0 / _ACTIVITY_LIMIT
+            for v in range(1, self._num_vars + 1):
+                activity[v] *= scale
+            self._act_inc *= scale
+            bumped = activity[var]
+        if self._assign[var] is None:
+            heappush(self._heap, (-bumped, var))
 
     def _pick_branch(self):
         heap = self._heap
         assign = self._assign
         while heap:
             _, var = heappop(heap)
-            if var not in assign:
+            if assign[var] is None:
                 return var
         for var in range(1, self._num_vars + 1):  # safety net
-            if var not in assign:
+            if assign[var] is None:
                 return var
         return None
 

@@ -39,6 +39,33 @@ from repro.solver.tseitin import CnfBuilder, assert_skeleton
 SAT = "sat"
 UNSAT = "unsat"
 
+_MISS = object()  # cache-miss sentinel (None is not a legal verdict)
+
+# Long-lived sessions hold one Solver for their whole lifetime; the theory
+# caches flush wholesale at these sizes so sustained grading traffic cannot
+# grow them without bound (a flush only costs re-derivation, not soundness).
+_THEORY_CACHE_LIMIT = 200_000
+_CORE_CACHE_LIMIT = 50_000
+
+
+def _block_literals(sat, atom_vars, literals, lemma):
+    """Add the clause forbidding ``literals`` to the SAT core.
+
+    ``lemma=True`` streams it into the deletable learned database -- right
+    for theory conflicts, which are *implied* and re-derivable for free
+    through the theory/core caches if reduction ever drops them.  Blocks
+    that are not theory-implied (e.g. a model whose value extraction
+    failed) must pass ``lemma=False`` to stay permanent.
+    """
+    clause = [
+        -(atom_vars[atom]) if positive else atom_vars[atom]
+        for atom, positive in literals
+    ]
+    if lemma:
+        sat.add_learned_clause(clause)
+    else:
+        sat.add_clause(clause)
+
 
 @dataclass
 class TheoryModel:
@@ -79,12 +106,17 @@ class Solver:
         self.max_conflicts = max_conflicts
         self._sat_cache = {}
         self._theory_cache = {}
+        self._core_cache = {}  # frozenset(literals) -> shrunk core tuple
         self.stats = {
             "sat_calls": 0,
             "theory_calls": 0,
             "cache_hits": 0,
+            "theory_cache_hits": 0,
             "learned_clauses": 0,
             "propagations": 0,
+            "restarts": 0,
+            "clauses_deleted": 0,
+            "literals_minimized": 0,
         }
 
     # ------------------------------------------------------------------
@@ -105,9 +137,19 @@ class Solver:
         return snapshot
 
     def reset_stats(self):
-        """Zero the counters (the result caches themselves are kept)."""
+        """Zero the counters and drop the per-lifetime theory caches.
+
+        The memoized primitive verdicts (``_sat_cache``) are kept -- they
+        are pure functions of the formula.  The theory-literal and
+        shrunk-core caches are dropped eagerly here; in steady state they
+        are also flushed automatically at ``_THEORY_CACHE_LIMIT`` /
+        ``_CORE_CACHE_LIMIT`` entries, so long-lived services stay bounded
+        without calling this.
+        """
         for key in self.stats:
             self.stats[key] = 0
+        self._theory_cache.clear()
+        self._core_cache.clear()
 
     # ------------------------------------------------------------------
     # Public primitives
@@ -199,19 +241,18 @@ class Solver:
                     attempts += 1
                     if attempts >= max_attempts:
                         return None
-                    core = literals  # block this exact propositional model
+                    # An extraction failure is NOT theory-implied (the
+                    # model is theory-consistent); a deletable block could
+                    # be dropped by DB reduction and the identical model
+                    # would resurface, burning the attempts budget.  Block
+                    # it permanently.
+                    _block_literals(sat, atom_vars, literals, lemma=False)
                 else:
                     core = self._shrink_core(literals)
-                sat.add_clause(
-                    [
-                        -(atom_vars[atom]) if positive else atom_vars[atom]
-                        for atom, positive in core
-                    ]
-                )
+                    _block_literals(sat, atom_vars, core, lemma=True)
             raise SolverLimitError("exceeded conflict budget")
         finally:
-            self.stats["learned_clauses"] += sat.stats["learned_clauses"]
-            self.stats["propagations"] += sat.stats["propagations"]
+            self._absorb_sat_stats(sat.stats)
 
     # ------------------------------------------------------------------
     # Core loop
@@ -260,23 +301,30 @@ class Solver:
                 if self._theory_ok(literals):
                     return SAT
                 core = self._shrink_core(literals)
-                sat.add_clause(
-                    [
-                        -(atom_vars[atom]) if positive else atom_vars[atom]
-                        for atom, positive in core
-                    ]
-                )
+                _block_literals(sat, atom_vars, core, lemma=True)
             raise SolverLimitError("exceeded conflict budget")
         finally:
-            self.stats["learned_clauses"] += sat.stats["learned_clauses"]
-            self.stats["propagations"] += sat.stats["propagations"]
+            self._absorb_sat_stats(sat.stats)
+
+    def _absorb_sat_stats(self, sat_stats):
+        """Fold one SAT core's counters into this facade's statistics."""
+        stats = self.stats
+        stats["learned_clauses"] += sat_stats["learned_clauses"]
+        stats["propagations"] += sat_stats["propagations"]
+        stats["restarts"] += sat_stats["restarts"]
+        stats["clauses_deleted"] += sat_stats["deleted_clauses"]
+        stats["literals_minimized"] += sat_stats["minimized_literals"]
 
     def _theory_ok(self, literals):
         key = frozenset(literals)
-        if key in self._theory_cache:
-            return self._theory_cache[key]
+        cached = self._theory_cache.get(key, _MISS)
+        if cached is not _MISS:
+            self.stats["theory_cache_hits"] += 1
+            return cached
         self.stats["theory_calls"] += 1
         result = check_literals(literals)
+        if len(self._theory_cache) >= _THEORY_CACHE_LIMIT:
+            self._theory_cache.clear()  # bound long-lived service growth
         self._theory_cache[key] = result
         return result
 
@@ -289,10 +337,19 @@ class Solver:
         attempts fail the core has (almost certainly) stopped shrinking and
         we accept it, cutting theory calls on large conflicts; any
         inconsistent superset is still a sound blocking clause.
+
+        Shrunk cores are memoized per literal set (``_core_cache``), so a
+        conflict rediscovered after its lemma was deleted from the learned
+        database -- or re-hit by an incremental feasibility session -- pays
+        no theory calls the second time.
         """
         core = list(literals)
         if len(core) > 24:  # too costly to shrink; block the full assignment
             return core
+        key = frozenset(literals)
+        cached = self._core_cache.get(key)
+        if cached is not None:
+            return list(cached)
         core.sort(key=lambda literal: len(str(literal[0])), reverse=True)
         i = 0
         stall = 0
@@ -306,7 +363,22 @@ class Solver:
                 stall += 1
                 if stall >= max_stall:
                     break
+        if len(self._core_cache) >= _CORE_CACHE_LIMIT:
+            self._core_cache.clear()  # bound long-lived service growth
+        self._core_cache[key] = tuple(core)
         return core
+
+    def feasibility_session(self, atoms, context=()):
+        """An incremental feasibility oracle over a fixed atom universe.
+
+        Returns a :class:`FeasibilitySession` that answers "is this
+        polarity assignment of a prefix of ``atoms`` consistent with
+        ``context``?" through *one* persistent SAT core solved under
+        assumptions.  Consecutive queries that share a prefix (the shape
+        of MinFix's truth-table DFS) reuse the kept trail, and every
+        theory lemma learned for one prefix prunes all later ones.
+        """
+        return FeasibilitySession(self, atoms, context)
 
     def _abstract(self, formula, atom_vars, builder):
         """Build a Tseitin skeleton, abstracting atoms to variables.
@@ -346,6 +418,83 @@ class Solver:
                 return children[0]
             return ("and" if is_and else "or", children)
         raise TypeError(f"not a formula: {formula!r}")
+
+
+class FeasibilitySession:
+    """Incremental DPLL(T) feasibility of literal prefixes (see
+    :meth:`Solver.feasibility_session`).
+
+    The context skeleton is Tseitin-encoded once into a single persistent
+    :class:`SatSolver`; each query solves it under assumptions fixing the
+    polarities of the prefix atoms.  Theory conflicts are minimized
+    through the owning :class:`Solver` (sharing its literal/core caches)
+    and streamed back as deletable lemmas, so they persist for -- and
+    prune -- every later query of the DFS.
+    """
+
+    def __init__(self, solver, atoms, context):
+        self._solver = solver
+        self._sat = SatSolver()
+        builder = CnfBuilder(sink=self._sat.add_clause)
+        atom_vars = {}
+        skeleton = solver._abstract(conj(*context), atom_vars, builder)
+        self._context_false = skeleton is False
+        if not isinstance(skeleton, bool):
+            assert_skeleton(skeleton, builder)
+        # One propositional literal (or constant) per mapping atom; atoms
+        # shared with the context reuse its variables.
+        self._atom_lits = []
+        for atom in atoms:
+            lit = solver._abstract(atom, atom_vars, builder)
+            if isinstance(lit, bool):
+                self._atom_lits.append(lit)
+            else:
+                self._atom_lits.append(lit[1])  # ("lit", +/-var)
+        self._sat.ensure_vars(builder.num_vars)
+        self._var_to_atom = {var: atom for atom, var in atom_vars.items()}
+        self._atom_vars = atom_vars
+        self._order = sorted(self._var_to_atom)
+        self._stats_baseline = dict(self._sat.stats)
+
+    def feasible_prefix(self, assignment, length):
+        """Is ``atoms[i] == bit i of assignment`` (i < length) consistent?"""
+        if self._context_false:
+            return False
+        assumptions = []
+        for i in range(length):
+            lit = self._atom_lits[i]
+            want = bool(assignment & (1 << i))
+            if isinstance(lit, bool):
+                if lit != want:
+                    return False  # the atom is a constant of the other sign
+                continue
+            assumptions.append(lit if want else -lit)
+        solver = self._solver
+        sat = self._sat
+        var_to_atom = self._var_to_atom
+        atom_vars = self._atom_vars
+        solver.stats["sat_calls"] += 1
+        try:
+            for _ in range(solver.max_conflicts):
+                model = sat.solve(assumptions)
+                if model is None:
+                    return False
+                literals = tuple(
+                    (var_to_atom[var], model[var]) for var in self._order
+                )
+                if solver._theory_ok(literals):
+                    return True
+                core = solver._shrink_core(literals)
+                _block_literals(sat, atom_vars, core, lemma=True)
+            raise SolverLimitError("exceeded conflict budget")
+        finally:
+            snapshot = dict(sat.stats)
+            delta = {
+                key: snapshot[key] - self._stats_baseline[key]
+                for key in snapshot
+            }
+            self._stats_baseline = snapshot
+            solver._absorb_sat_stats(delta)
 
 
 _DEFAULT_SOLVER = Solver()

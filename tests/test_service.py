@@ -387,6 +387,16 @@ class TestHttpServer:
         assert entry["submissions"] == 2
         assert entry["cache"]["hits"] == 1
 
+    def test_stats_endpoint_reports_cdcl_counters(self, client):
+        _, created = self._create(client)
+        aid = created["assignment_id"]
+        client.post("/grade", {"assignment_id": aid, "sql": WRONG})
+        _, stats = client.get("/stats")
+        solver_stats = stats["assignments"][aid]["solver"]
+        for key in ("restarts", "clauses_deleted", "literals_minimized",
+                    "theory_cache_hits", "learned_clauses"):
+            assert key in solver_stats, key
+
     def test_keep_alive_survives_404_with_body(self, client):
         # A 404 must drain the unread body or the next request on the
         # persistent connection is parsed out of the leftover bytes.
@@ -545,3 +555,20 @@ class TestCliSubcommands:
         assert "FAIL" in out
         assert out.count("Solver stats:") == 1
         assert "cache_hit_rate" in out
+
+    def test_solver_stats_include_cdcl_counters(self, schema_file, capsys):
+        import repro.cli as cli
+
+        code = cli.main(
+            [
+                "--schema", schema_file,
+                "--target-sql", TARGET,
+                "--working-sql", WRONG,
+                "--solver-stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for key in ("restarts", "clauses_deleted", "literals_minimized",
+                    "theory_cache_hits"):
+            assert key in out, key

@@ -223,6 +223,161 @@ class TestNonRecursive:
         assert model is not None and len(model) == 600
 
 
+class TestFirstUipMachinery:
+    """Restarts, clause-DB reduction, minimization, and model snapshots."""
+
+    def _php(self, holes):
+        # Pigeonhole holes+1 into holes: UNSAT with real conflict pressure.
+        clauses = []
+        var = lambda i, j: i * holes + j + 1
+        for i in range(holes + 1):
+            clauses.append([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i in range(holes + 1):
+                for k in range(i + 1, holes + 1):
+                    clauses.append([-var(i, j), -var(k, j)])
+        return clauses, (holes + 1) * holes
+
+    def test_restarts_fire_and_preserve_unsat(self):
+        clauses, n = self._php(5)
+        solver = SatSolver(restart_base=1)  # Luby restarts almost per conflict
+        solver.ensure_vars(n)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is None
+        assert solver.stats["restarts"] >= 1
+
+    def test_clause_db_reduction_fires_and_stays_correct(self):
+        clauses, n = self._php(5)
+        solver = SatSolver(reduce_base=20)  # force aggressive deletion
+        solver.ensure_vars(n)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is None
+        assert solver.stats["deleted_clauses"] > 0
+
+    def test_minimization_counter_fires(self):
+        clauses, n = self._php(5)
+        solver = SatSolver()
+        solver.ensure_vars(n)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is None
+        assert solver.stats["minimized_literals"] > 0
+
+    def test_learned_clause_is_not_a_decision_cut(self):
+        # First-UIP learning must keep learned clauses no longer than the
+        # decision cut; on PHP it learns strictly shorter clauses, which
+        # shows the analysis actually resolves on antecedents.
+        clauses, n = self._php(4)
+        solver = SatSolver()
+        solver.ensure_vars(n)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is None
+        learned = solver._learned_clauses
+        assert learned, "expected learned clauses on PHP"
+        assert min(len(c) for c in learned) <= 4
+
+    def test_model_snapshot_after_sat_following_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[-2]) is None
+        assert solver.model() is None  # UNSAT clears the snapshot
+        model = solver.solve()
+        assert model is not None and model[2] is True
+        snapshot = solver.model()
+        assert snapshot == model
+        # Adding clauses must not invalidate the snapshot ...
+        solver.add_clause([3, 4])
+        assert solver.model() == snapshot
+        # ... and mutating the returned dicts must not either.
+        model[2] = False
+        assert solver.model()[2] is True
+
+    def test_stats_has_new_counters(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.solve()
+        for key in ("restarts", "deleted_clauses", "minimized_literals"):
+            assert key in solver.stats
+
+
+class TestStressedFuzzAgainstBruteForce:
+    """The oneshot/incremental fuzz, with restarts + reduction forced on."""
+
+    def test_oneshot_fuzz_with_tiny_restart_and_reduce_limits(self):
+        rng = random.Random(0xD1CE)
+        for _ in range(150):
+            n = rng.randint(1, 12)
+            clauses = _random_cnf(rng, n, rng.randint(1, 4 * n))
+            solver = SatSolver(restart_base=1, reduce_base=4)
+            solver.ensure_vars(n)
+            for clause in clauses:
+                solver.add_clause(clause)
+            model = solver.solve()
+            reference = _brute_force(clauses, n)
+            assert (model is None) == (reference is None), clauses
+            if model is not None:
+                for clause in clauses:
+                    assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    def test_growing_assumption_prefix_fuzz(self):
+        # The trail-reuse fast path: repeated solves under assumption lists
+        # that extend each other, interleaved with clause additions.
+        rng = random.Random(0xBEEF)
+        for _ in range(60):
+            n = rng.randint(3, 10)
+            solver = SatSolver(restart_base=2, reduce_base=6)
+            solver.ensure_vars(n)
+            accumulated = []
+            pool = [rng.choice([1, -1]) * v
+                    for v in rng.sample(range(1, n + 1), rng.randint(1, n))]
+            for clause in _random_cnf(rng, n, rng.randint(2, 3 * n)):
+                accumulated.append(clause)
+                solver.add_clause(clause)
+            previous_sat = True
+            for length in range(len(pool) + 1):
+                assumptions = pool[:length]
+                model = solver.solve(assumptions)
+                reference = _brute_force(
+                    accumulated + [[a] for a in assumptions], n
+                )
+                assert (model is None) == (reference is None), (
+                    accumulated, assumptions
+                )
+                if model is not None:
+                    for clause in accumulated:
+                        assert any(model[abs(l)] == (l > 0) for l in clause)
+                    for lit in assumptions:
+                        assert model[abs(lit)] == (lit > 0)
+                    assert previous_sat, "SAT after UNSAT on a larger prefix"
+                previous_sat = model is not None
+                if rng.random() < 0.3:
+                    extra = _random_cnf(rng, n, 1)[0]
+                    accumulated.append(extra)
+                    solver.add_clause(extra)
+                    previous_sat = True  # the instance changed; reset
+
+    def test_model_enumeration_under_reduction_never_repeats(self):
+        # Blocking-clause enumeration with an aggressive reduction cap:
+        # deleting conflict-learned clauses must never re-admit a model
+        # blocked by a (permanent) blocking clause.
+        solver = SatSolver(reduce_base=2)
+        solver.ensure_vars(4)
+        seen = set()
+        while True:
+            model = solver.solve()
+            if model is None:
+                break
+            key = tuple(model[v] for v in range(1, 5))
+            assert key not in seen, "a deleted blocking clause re-admitted a model"
+            seen.add(key)
+            solver.add_clause([-v if model[v] else v for v in range(1, 5)])
+        assert len(seen) == 16
+
+
 class TestTseitin:
     def _solve_skeleton(self, skeleton, num_lit_vars):
         builder = CnfBuilder(num_vars=num_lit_vars)

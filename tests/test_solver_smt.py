@@ -146,3 +146,75 @@ class TestCaching:
         before = local.stats["cache_hits"]
         assert local.is_unsatisfiable(f)
         assert local.stats["cache_hits"] == before + 1
+
+    def test_theory_cache_hits_are_counted(self):
+        local = Solver()
+        from repro.solver.atoms import canonicalize
+
+        lit = canonicalize(cmp("<", A, B))
+        literals = ((lit.atom, lit.positive),)
+        assert local._theory_ok(literals)
+        calls = local.stats["theory_calls"]
+        assert local._theory_ok(literals)
+        assert local.stats["theory_calls"] == calls  # served from cache
+        assert local.stats["theory_cache_hits"] >= 1
+
+    def test_reset_stats_clears_theory_caches(self):
+        local = Solver()
+        assert local.is_satisfiable(cmp("<", A, B) & cmp("<", B, C))
+        assert local._theory_cache
+        local.reset_stats()
+        assert not local._theory_cache
+        assert not local._core_cache
+        assert all(value == 0 for value in local.stats.values())
+        # The primitive verdict cache survives (pure function of formula).
+        before = local.stats["sat_calls"]
+        assert local.is_satisfiable(cmp("<", A, B) & cmp("<", B, C))
+        assert local.stats["sat_calls"] == before
+        assert local.stats["cache_hits"] == 1
+
+    def test_stats_snapshot_has_new_counters(self):
+        local = Solver()
+        local.is_satisfiable(cmp("<", A, B))
+        snapshot = local.stats_snapshot()
+        for key in ("restarts", "clauses_deleted", "literals_minimized",
+                    "theory_cache_hits", "cache_hit_rate"):
+            assert key in snapshot
+
+
+class TestFeasibilitySession:
+    def test_matches_one_shot_primitive(self):
+        local = Solver()
+        atoms = [
+            cmp(">", A, const(3)),
+            cmp("<", A, const(10)),
+            cmp(">=", B, const(2)),
+        ]
+        context = (disj(cmp(">", A, const(5)), cmp("<", B, const(0))),)
+        session = local.feasibility_session(atoms, context)
+        for assignment in range(8):
+            for length in range(4):
+                literals = [
+                    atoms[i] if assignment & (1 << i) else neg(atoms[i])
+                    for i in range(length)
+                ]
+                expected = local.is_satisfiable(conj(*literals), context)
+                assert session.feasible_prefix(assignment, length) == expected
+
+    def test_unsatisfiable_context_is_always_infeasible(self):
+        local = Solver()
+        atoms = [cmp(">", A, const(0))]
+        context = (cmp("<", A, B) & cmp("<", B, A),)
+        session = local.feasibility_session(atoms, context)
+        assert not session.feasible_prefix(0, 0)
+        assert not session.feasible_prefix(1, 1)
+
+    def test_lemmas_accumulate_across_queries(self):
+        local = Solver()
+        atoms = [cmp("<", A, B), cmp("<", B, C), cmp("<", C, A)]
+        session = local.feasibility_session(atoms, ())
+        # All three cycle literals together are theory-infeasible ...
+        assert not session.feasible_prefix(0b111, 3)
+        # ... and the lemma persists in the same session's SAT core.
+        assert session._sat._learned_clauses
+        assert session.feasible_prefix(0b011, 2)
