@@ -40,7 +40,7 @@ EXIT_OK = 0
 EXIT_VERIFY_FAILED = 1
 EXIT_ERROR = 2
 
-COMMANDS = ("hint", "witness", "grade-batch", "serve")
+COMMANDS = ("hint", "witness", "grade-batch", "corpus", "serve")
 
 
 def load_catalog(path):
@@ -103,11 +103,19 @@ def build_parser():
         help="differentially verify the repaired query against the target",
     )
     hint.add_argument(
+        "--witness-text",
+        action="store_true",
+        help="when the queries differ, also generate a counterexample "
+        "database and anchor the hints to it (\"on this database your "
+        "query returns X; the reference returns Y\")",
+    )
+    hint.add_argument(
         "--solver-stats",
         action="store_true",
         help="print SAT/SMT solver counters (calls, cache hit-rate, learned "
         "clauses, propagations, restarts, clauses deleted, literals "
-        "minimized, theory-cache hits) after the run",
+        "minimized, theory-cache hits, failed-assumption cores and their "
+        "total size) after the run",
     )
     hint.set_defaults(func=cmd_hint)
 
@@ -173,6 +181,56 @@ def build_parser():
     batch.add_argument("--json", dest="json_out", help="write results JSON here")
     batch.set_defaults(func=cmd_grade_batch)
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="generate a ground-truth-labeled corpus of wrong queries and "
+        "run it through the batch grader",
+    )
+    corpus.add_argument(
+        "--schemas", default="all",
+        help="comma-separated schema sources, or 'all' (default); see "
+        "--list-schemas",
+    )
+    corpus.add_argument(
+        "--per-query", type=int, default=10,
+        help="mutation seeds per reference query (default 10)",
+    )
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument(
+        "--max-errors", type=int, default=2,
+        help="maximum injected errors per entry (default 2)",
+    )
+    corpus.add_argument(
+        "--processes", type=int, default=None,
+        help="batch-grader worker processes (default: cpu count; 1 = serial)",
+    )
+    corpus.add_argument(
+        "--max-sites", type=int, default=2, help="repair-site cap (default 2)"
+    )
+    corpus.add_argument(
+        "--witness", action="store_true",
+        help="also measure witness coverage on a subsample of flagged entries",
+    )
+    corpus.add_argument(
+        "--witness-limit", type=int, default=40,
+        help="witness-coverage subsample size (default 40)",
+    )
+    corpus.add_argument(
+        "--generate-only", action="store_true",
+        help="generate (and optionally --dump) without grading",
+    )
+    corpus.add_argument(
+        "--dump", help="write the generated corpus as JSONL here"
+    )
+    corpus.add_argument(
+        "--json", dest="json_out", help="write evaluation metrics JSON here"
+    )
+    corpus.add_argument(
+        "--list-schemas", action="store_true",
+        help="list the bundled schema sources and exit",
+    )
+    corpus.set_defaults(func=cmd_corpus)
+
     serve = sub.add_parser("serve", help="run the HTTP hint service")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8100)
@@ -184,6 +242,13 @@ def build_parser():
     serve.add_argument(
         "--assignment-id", default="default",
         help="id for the preloaded assignment (default: 'default')",
+    )
+    serve.add_argument(
+        "--cache-file",
+        help="JSON spill file for the preloaded assignment's artifact "
+        "cache: loaded at startup (if present) and saved on shutdown, so "
+        "canonical-form reports and witnesses survive restarts "
+        "(requires --schema)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress access log")
     serve.set_defaults(func=cmd_serve)
@@ -232,8 +297,23 @@ def cmd_hint(args):
 
     from repro.service.session import format_report
 
+    witness = None
+    if args.witness_text and not report.all_passed:
+        from repro.witness import generate_witness
+
+        witness = generate_witness(
+            catalog, target, working, solver=solver, seed=0
+        )
+
     code = EXIT_OK
-    print(format_report(report, show_fixes=args.show_fixes))
+    print(
+        format_report(
+            report,
+            show_fixes=args.show_fixes,
+            witness=witness,
+            witness_text=args.witness_text,
+        )
+    )
     if args.verify and not report.all_passed:
         ok = appear_equivalent(
             report.final_query, report.target_query, catalog, trials=60
@@ -389,14 +469,99 @@ def cmd_grade_batch(args):
 
 
 # ----------------------------------------------------------------------
+# corpus
+# ----------------------------------------------------------------------
+
+
+def cmd_corpus(args):
+    from repro.corpus import CorpusGenerator, evaluate_corpus
+    from repro.corpus.generator import stage_mix
+    from repro.corpus.schemas import bundled_sources
+
+    if args.list_schemas:
+        for source in bundled_sources():
+            print(f"{source.name}: {len(source.targets)} reference queries")
+        return EXIT_OK
+
+    schemas = None
+    if args.schemas and args.schemas != "all":
+        schemas = tuple(s.strip() for s in args.schemas.split(",") if s.strip())
+    try:
+        generator = CorpusGenerator(
+            schemas=schemas, seed=args.seed, max_errors=args.max_errors
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    pool = generator.generate_pool(per_query=args.per_query)
+    stage_counts = stage_mix(pool)
+    schema_names = sorted({entry.schema for entry in pool})
+    print(
+        f"Generated {len(pool)} wrong queries across "
+        f"{len(schema_names)} schema(s) "
+        f"({generator.duplicates} duplicates dropped, "
+        f"{generator.failures} seeds unusable)"
+    )
+    print("  stages: " + ", ".join(
+        f"{stage} {count}" for stage, count in stage_counts.items()
+    ))
+
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            for entry in pool:
+                handle.write(json.dumps(entry.to_dict()) + "\n")
+        print(f"wrote {args.dump}")
+    if args.generate_only:
+        return EXIT_OK
+    if not pool:
+        print("error: empty corpus", file=sys.stderr)
+        return EXIT_ERROR
+
+    result = evaluate_corpus(
+        pool,
+        schemas=schemas,
+        processes=args.processes,
+        max_sites=args.max_sites,
+        witness=args.witness,
+        witness_limit=args.witness_limit,
+    )
+    print(
+        f"Graded {result.graded}/{result.total} "
+        f"({result.errors} errors) in {result.grade_elapsed:.1f}s "
+        f"({result.throughput:.2f}/s)"
+    )
+    print(
+        f"  hint coverage {result.hint_coverage:.1%} "
+        f"({result.benign} benign mutants) | "
+        f"stage recall {result.stage_recall:.3f} | "
+        f"exact stage match {result.stage_exact_rate:.1%}"
+    )
+    if args.witness:
+        print(
+            f"  witness coverage {result.witness_coverage:.1%} "
+            f"({result.witness_found}/{result.witness_attempted} attempted, "
+            f"{result.witness_elapsed:.1f}s)"
+        )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
 
 
 def cmd_serve(args):
+    import os
+
     from repro.service.server import HintService, serve
 
     service = HintService()
+    session = None
     if args.schema:
         try:
             catalog = load_catalog(args.schema)
@@ -408,7 +573,24 @@ def cmd_serve(args):
             print(f"error: {error}", file=sys.stderr)
             return EXIT_ERROR
         print(f"preloaded assignment {session.assignment_id!r}")
-    return serve(args.host, args.port, service, quiet=args.quiet)
+    if args.cache_file:
+        if session is None:
+            print("error: --cache-file requires a preloaded assignment "
+                  "(--schema/--target)", file=sys.stderr)
+            return EXIT_ERROR
+        if os.path.exists(args.cache_file):
+            try:
+                count = session.cache.load(args.cache_file)
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                print(f"error: cannot load {args.cache_file}: {error}",
+                      file=sys.stderr)
+                return EXIT_ERROR
+            print(f"restored {count} cached artifact(s) from {args.cache_file}")
+    code = serve(args.host, args.port, service, quiet=args.quiet)
+    if args.cache_file and session is not None:
+        count = session.cache.save(args.cache_file)
+        print(f"saved {count} cached artifact(s) to {args.cache_file}")
+    return code
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""Corpus subsystem: whole-query error injection at corpus scale.
+
+The paper validates hint quality on a 4-query user study plus WHERE-only
+synthetic injection; this package manufactures *thousands* of realistic,
+ground-truth-labeled wrong queries across every bundled schema so the
+service, solver, and witness layers can be measured (and regressed) far
+beyond the user-study pool.
+
+* :mod:`repro.corpus.mutations` -- typed mutation operators over every
+  stage the repair pipeline handles (SELECT column/aggregate swaps,
+  GROUP BY key drops/additions, HAVING predicate mutations, FROM
+  join-table/alias errors, and the WHERE operator/constant/column
+  mutations of :mod:`repro.workloads.inject`), each recording its
+  ground-truth repair site.
+* :mod:`repro.corpus.schemas`   -- the registry of bundled schema sources
+  (tpch, beers, brass, dblp, userstudy) with their reference queries.
+* :mod:`repro.corpus.generator` -- :class:`CorpusGenerator`: fans
+  mutations across the sources with per-mutation seeds, dedupes by the
+  service's canonical alias-renamed form, and tags each entry with a
+  difficulty score.
+* :mod:`repro.corpus.evaluate`  -- pushes a generated pool through the
+  batch grader and reports hint coverage, ground-truth-repair agreement,
+  witness coverage, and throughput.
+"""
+
+from repro.corpus.evaluate import CorpusEvalResult, evaluate_corpus
+from repro.corpus.generator import CorpusEntry, CorpusGenerator
+from repro.corpus.mutations import MutatedQuery, MutationRecord, mutate_query
+from repro.corpus.schemas import bundled_sources
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusEvalResult",
+    "CorpusGenerator",
+    "MutatedQuery",
+    "MutationRecord",
+    "bundled_sources",
+    "evaluate_corpus",
+    "mutate_query",
+]

@@ -1,0 +1,214 @@
+"""Corpus-scale evaluation: push a generated pool through the batch grader.
+
+For every ``(schema, target)`` group the harness runs
+:func:`repro.service.batch.grade_batch` (the production batch path:
+canonical-form dedup, optional multiprocessing, warm per-worker solvers)
+and folds the per-entry outcomes into corpus-level metrics:
+
+* **grade success rate** -- share of entries graded without a pipeline
+  error (parse failures and ``RepairError`` both count as errors);
+* **hint coverage** -- share of graded entries flagged wrong (every
+  flagged entry carries at least one hint by construction; un-flagged
+  mutants are *benign*: the mutation accidentally preserved semantics);
+* **ground-truth agreement** -- per flagged entry, the hinted stages are
+  compared against the mutated stages (mean recall + exact-match rate);
+* **witness coverage** -- optionally, counterexample generation over a
+  deterministic subsample of the flagged entries;
+* **throughput** -- graded entries per second of batch-grading time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.corpus.schemas import bundled_sources
+from repro.errors import ReproError
+from repro.service.batch import GradeError, grade_batch
+from repro.solver import Solver
+from repro.sqlparser.rewrite import parse_query_extended
+from repro.witness import generate_witness
+
+
+@dataclass
+class CorpusEvalResult:
+    """Corpus-level metrics plus the raw per-entry outcomes."""
+
+    total: int = 0
+    graded: int = 0
+    errors: int = 0
+    flagged: int = 0  # graded entries with at least one hint
+    benign: int = 0  # graded entries the pipeline found equivalent
+    stage_recall_sum: float = 0.0
+    stage_exact: int = 0
+    witness_attempted: int = 0
+    witness_found: int = 0
+    grade_elapsed: float = 0.0
+    witness_elapsed: float = 0.0
+    processes: int = 0
+    by_schema: dict = field(default_factory=dict)
+    by_kind: dict = field(default_factory=dict)
+    #: ``(entry, GradeResult | GradeError)`` in corpus order.
+    outcomes: list = field(default_factory=list)
+
+    # -- derived metrics ------------------------------------------------
+
+    @property
+    def grade_success_rate(self):
+        return self.graded / self.total if self.total else 0.0
+
+    @property
+    def hint_coverage(self):
+        return self.flagged / self.graded if self.graded else 0.0
+
+    @property
+    def stage_recall(self):
+        return self.stage_recall_sum / self.flagged if self.flagged else 0.0
+
+    @property
+    def stage_exact_rate(self):
+        return self.stage_exact / self.flagged if self.flagged else 0.0
+
+    @property
+    def witness_coverage(self):
+        if not self.witness_attempted:
+            return 0.0
+        return self.witness_found / self.witness_attempted
+
+    @property
+    def throughput(self):
+        return self.graded / self.grade_elapsed if self.grade_elapsed else 0.0
+
+    def to_dict(self):
+        return {
+            "total": self.total,
+            "graded": self.graded,
+            "errors": self.errors,
+            "flagged": self.flagged,
+            "benign": self.benign,
+            "grade_success_rate": round(self.grade_success_rate, 4),
+            "hint_coverage": round(self.hint_coverage, 4),
+            "stage_recall": round(self.stage_recall, 4),
+            "stage_exact_rate": round(self.stage_exact_rate, 4),
+            "witness_attempted": self.witness_attempted,
+            "witness_found": self.witness_found,
+            "witness_coverage": round(self.witness_coverage, 4),
+            "grade_elapsed": round(self.grade_elapsed, 3),
+            "witness_elapsed": round(self.witness_elapsed, 3),
+            "throughput": round(self.throughput, 3),
+            "processes": self.processes,
+            "by_schema": self.by_schema,
+            "by_kind": self.by_kind,
+        }
+
+
+def _hinted_stages(result):
+    return {stage for stage, passed, _ in result.stage_hints if not passed}
+
+
+def evaluate_corpus(
+    entries,
+    *,
+    schemas=None,
+    processes=None,
+    max_sites=2,
+    witness=False,
+    witness_limit=40,
+    witness_seed=0,
+):
+    """Grade every corpus entry and aggregate a :class:`CorpusEvalResult`.
+
+    ``entries`` is any iterable of :class:`~repro.corpus.generator
+    .CorpusEntry`.  ``processes`` is forwarded to :func:`grade_batch`
+    per ``(schema, target)`` group (``0``/``1`` grades serially).  With
+    ``witness=True`` the first ``witness_limit`` flagged entries (in
+    corpus order) also get a counterexample-generation attempt.
+    """
+    entries = list(entries)
+    sources = {s.name: s for s in bundled_sources(schemas)}
+    result = CorpusEvalResult(total=len(entries))
+
+    groups = OrderedDict()
+    for entry in entries:
+        groups.setdefault((entry.schema, entry.target_sql), []).append(entry)
+
+    outcomes = []
+    for (schema, target_sql), group in groups.items():
+        catalog = sources[schema].catalog()
+        start = time.perf_counter()
+        # A pool per tiny group costs more than it saves (worker startup
+        # re-parses the target); grade those serially in-process.
+        group_processes = 1 if len(group) < 4 else processes
+        batch = grade_batch(
+            catalog,
+            target_sql,
+            [e.wrong_sql for e in group],
+            processes=group_processes,
+            max_sites=max_sites,
+        )
+        result.grade_elapsed += time.perf_counter() - start
+        result.processes = max(result.processes, batch.processes)
+        outcomes.extend(zip(group, batch.results))
+
+    for entry, outcome in outcomes:
+        schema_stats = result.by_schema.setdefault(
+            entry.schema, {"total": 0, "graded": 0, "flagged": 0}
+        )
+        schema_stats["total"] += 1
+        for record in entry.mutations:
+            kind_stats = result.by_kind.setdefault(
+                record.kind, {"count": 0, "flagged": 0}
+            )
+            kind_stats["count"] += 1
+        if isinstance(outcome, GradeError):
+            result.errors += 1
+            continue
+        result.graded += 1
+        schema_stats["graded"] += 1
+        if outcome.all_passed:
+            result.benign += 1
+            continue
+        result.flagged += 1
+        schema_stats["flagged"] += 1
+        for record in entry.mutations:
+            result.by_kind[record.kind]["flagged"] += 1
+        truth = set(entry.stages)
+        hinted = _hinted_stages(outcome)
+        if truth:
+            result.stage_recall_sum += len(truth & hinted) / len(truth)
+        if truth == hinted:
+            result.stage_exact += 1
+
+    if witness:
+        _measure_witness_coverage(
+            result, outcomes, sources, witness_limit, witness_seed
+        )
+
+    result.outcomes = outcomes
+    return result
+
+
+def _measure_witness_coverage(result, outcomes, sources, limit, seed):
+    """Counterexample generation over the first ``limit`` flagged entries."""
+    solvers = {}
+    start = time.perf_counter()
+    for entry, outcome in outcomes:
+        if result.witness_attempted >= limit:
+            break
+        if isinstance(outcome, GradeError) or outcome.all_passed:
+            continue
+        catalog = sources[entry.schema].catalog()
+        solver = solvers.setdefault(entry.schema, Solver())
+        try:
+            target = parse_query_extended(entry.target_sql, catalog)
+            wrong = parse_query_extended(entry.wrong_sql, catalog)
+            found = generate_witness(
+                catalog, target, wrong, solver=solver, seed=seed
+            )
+        except ReproError:
+            found = None
+        result.witness_attempted += 1
+        if found is not None:
+            result.witness_found += 1
+    result.witness_elapsed = time.perf_counter() - start

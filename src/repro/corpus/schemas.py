@@ -1,0 +1,122 @@
+"""Registry of bundled schema sources for corpus generation.
+
+A :class:`SchemaSource` names a bundled schema, its catalog factory, and
+the reference (correct) queries that mutations fan out from:
+
+* ``tpch``      -- the Section 9 TPC-H predicates workload (9 queries);
+* ``beers``     -- the classroom drinkers/bars questions (Example 1);
+* ``brass``     -- the Brass & Goldberg reference queries on the beers
+  schema (Table 5 examples);
+* ``dblp``      -- the four DBLP user-study reference queries;
+* ``userstudy`` -- the same four questions as an independent mutation
+  pool (per-entry seeds differ by source, so its mutants are disjoint
+  from ``dblp``'s even where the targets coincide).
+
+Catalogs are constructed lazily and cached per source name so one corpus
+run resolves every target against a single catalog instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SchemaSource:
+    """One bundled schema plus its reference queries."""
+
+    name: str
+    catalog_factory: object  # () -> Catalog
+    targets: tuple  # ((qid, sql), ...)
+    _cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def catalog(self):
+        if "catalog" not in self._cache:
+            self._cache["catalog"] = self.catalog_factory()
+        return self._cache["catalog"]
+
+
+def _tpch_source():
+    from repro.workloads import tpch
+
+    return SchemaSource(
+        "tpch",
+        tpch.catalog,
+        tuple((q.name, q.sql) for q in tpch.ALL_QUERIES),
+    )
+
+
+def _beers_source():
+    from repro.workloads import beers
+
+    return SchemaSource(
+        "beers",
+        beers.catalog,
+        tuple(
+            (qid, solution)
+            for qid, (_, solution) in sorted(beers.QUESTIONS.items())
+        ),
+    )
+
+
+def _brass_source():
+    from repro.workloads import beers, brass
+
+    seen = set()
+    targets = []
+    for issue in brass.supported_issues():
+        sql = issue.reference_sql
+        if sql is None or sql in seen:
+            continue
+        seen.add(sql)
+        targets.append((f"issue{issue.number}", sql))
+    return SchemaSource("brass", beers.catalog, tuple(targets))
+
+
+def _dblp_source():
+    from repro.workloads import dblp
+
+    return SchemaSource(
+        "dblp",
+        dblp.catalog,
+        tuple((q.qid, q.correct_sql) for q in dblp.QUESTIONS),
+    )
+
+
+def _userstudy_source():
+    from repro.workloads import dblp
+
+    return SchemaSource(
+        "userstudy",
+        dblp.catalog,
+        tuple((f"US-{q.qid}", q.correct_sql) for q in dblp.QUESTIONS),
+    )
+
+
+_FACTORIES = {
+    "tpch": _tpch_source,
+    "beers": _beers_source,
+    "brass": _brass_source,
+    "dblp": _dblp_source,
+    "userstudy": _userstudy_source,
+}
+
+SCHEMA_NAMES = tuple(sorted(_FACTORIES))
+
+
+def bundled_sources(names=None):
+    """The requested :class:`SchemaSource` objects, sorted by name.
+
+    ``names=None`` selects every bundled schema.  Unknown names raise
+    ``ValueError`` listing the available ones.
+    """
+    if names is None:
+        names = SCHEMA_NAMES
+    sources = []
+    for name in sorted(set(names)):
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            known = ", ".join(SCHEMA_NAMES)
+            raise ValueError(f"unknown schema {name!r} (have: {known})")
+        sources.append(factory())
+    return sources

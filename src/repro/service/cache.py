@@ -18,6 +18,7 @@ one LRU budget and eviction policy.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from dataclasses import replace
@@ -149,6 +150,62 @@ class ArtifactCache:
     def clear(self):
         with self._lock:
             self._entries.clear()
+
+    # -- disk spill -----------------------------------------------------
+
+    def save(self, path):
+        """Spill every cached entry to a JSON file; returns the count.
+
+        Entries are written oldest-first, so a later :meth:`load`
+        reproduces the LRU order exactly.  Artifacts the structural codecs
+        do not understand (see :mod:`repro.service.serialize`) are skipped
+        rather than failing the spill.  The write is atomic (temp file +
+        rename), so a crash mid-save never truncates an existing spill.
+        """
+        import os
+
+        from repro.service.serialize import artifact_to_obj, key_to_obj
+
+        with self._lock:
+            entries = list(self._entries.items())
+        payload = []
+        for key, artifact in entries:
+            try:
+                payload.append(
+                    {
+                        "key": key_to_obj(key),
+                        "artifact": artifact_to_obj(artifact),
+                    }
+                )
+            except TypeError:
+                continue
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w") as handle:
+                json.dump({"version": 1, "entries": payload}, handle)
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        return len(payload)
+
+    def load(self, path):
+        """Restore entries saved by :meth:`save`; returns the count.
+
+        Restored entries go through :meth:`put`, so the cache bound and
+        eviction policy apply as if they had just been computed.  The
+        restored canonical keys compare equal to freshly canonicalized
+        submissions, which is what makes cross-restart reuse work.
+        """
+        from repro.service.serialize import obj_to_artifact, obj_to_key
+
+        with open(path) as handle:
+            payload = json.load(handle)
+        count = 0
+        for item in payload.get("entries", []):
+            self.put(obj_to_key(item["key"]), obj_to_artifact(item["artifact"]))
+            count += 1
+        return count
 
     @property
     def hit_rate(self):

@@ -254,12 +254,16 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         assignment_id = self._require(payload, "assignment_id")
         sql = self._require(payload, "sql")
         show_fixes = bool(payload.get("show_fixes", False))
-        witness = bool(payload.get("witness", False))
+        witness_text = bool(payload.get("witness_text", False))
+        # witness_text needs a witness to anchor to, so it implies one.
+        witness = bool(payload.get("witness", False)) or witness_text
         session = self.server.service.session(assignment_id)
         result = session.grade(sql, witness=witness)
         body = result.to_dict(show_fixes=show_fixes)
         body["assignment_id"] = assignment_id
-        body["text"] = result.text(show_fixes=show_fixes)
+        body["text"] = result.text(
+            show_fixes=show_fixes, witness_text=witness_text
+        )
         return 200, body
 
     def _post_witness(self):

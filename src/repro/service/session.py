@@ -39,6 +39,7 @@ from repro.witness import (
     format_witness_lines,
     generate_witness,
     remap_witness,
+    witness_divergence_sentence,
     witness_to_dict,
 )
 
@@ -111,9 +112,19 @@ class GradeResult:
             out.extend(hints)
         return tuple(out)
 
-    def text(self, show_fixes=False):
-        """Render exactly the CLI ``hint`` output block for this result."""
-        return "\n".join(format_grade_lines(self, show_fixes=show_fixes))
+    def text(self, show_fixes=False, witness_text=False):
+        """Render exactly the CLI ``hint`` output block for this result.
+
+        ``witness_text=True`` anchors the hints to the counterexample (an
+        extra "on this database your query returns X" bullet) when this
+        result carries a witness; the default rendering is byte-identical
+        to pre-witness-text behaviour.
+        """
+        return "\n".join(
+            format_grade_lines(
+                self, show_fixes=show_fixes, witness_text=witness_text
+            )
+        )
 
     def to_dict(self, show_fixes=False):
         """JSON-safe rendering (used by the HTTP API and ``--json``)."""
@@ -146,10 +157,26 @@ class GradeResult:
         return payload
 
 
-def format_grade_lines(result, show_fixes=False):
-    """The CLI hint block as a list of lines (shared by CLI and service)."""
+def format_grade_lines(result, show_fixes=False, witness_text=False):
+    """The CLI hint block as a list of lines (shared by CLI and service).
+
+    With ``witness_text=True`` and a witness on the result, the stage the
+    witness attributes the divergence to gets an extra bullet quoting the
+    concrete result bags ("on this database your query returns X; the
+    reference returns Y").  Off by default: the rendering is then
+    byte-identical to the historic output.
+    """
     if result.all_passed:
         return ["The working query is already equivalent to the target."]
+    witness_stage = None
+    if witness_text and result.witness is not None:
+        failing = [s for s, passed, _ in result.stage_hints if not passed]
+        if failing:
+            witness_stage = (
+                result.witness.stage
+                if result.witness.stage in failing
+                else failing[-1]
+            )
     lines = []
     for stage, passed, hints in result.stage_hints:
         if passed:
@@ -159,6 +186,10 @@ def format_grade_lines(result, show_fixes=False):
             lines.append(f"  - {hint.message}")
             if show_fixes and hint.fix:
                 lines.append(f"    fix: {hint.site}  ->  {hint.fix}")
+        if stage == witness_stage:
+            lines.append(
+                f"  - {witness_divergence_sentence(result.witness)}"
+            )
     lines.append("")
     lines.append("Query after applying all repairs:")
     lines.append(f"  {result.final_sql}")
@@ -168,7 +199,7 @@ def format_grade_lines(result, show_fixes=False):
     return lines
 
 
-def format_report(report, show_fixes=False):
+def format_report(report, show_fixes=False, witness=None, witness_text=False):
     """Render a raw pipeline :class:`Report` the same way as the CLI."""
     stage_hints = tuple(
         (s.stage, s.passed, tuple(s.hints)) for s in report.stages
@@ -181,8 +212,13 @@ def format_report(report, show_fixes=False):
         cached=False,
         pipeline_elapsed=report.elapsed,
         elapsed=report.elapsed,
+        witness=witness,
     )
-    return "\n".join(format_grade_lines(shim, show_fixes=show_fixes))
+    return "\n".join(
+        format_grade_lines(
+            shim, show_fixes=show_fixes, witness_text=witness_text
+        )
+    )
 
 
 def _disambiguate(inverse, query):

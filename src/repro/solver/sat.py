@@ -111,6 +111,7 @@ class SatSolver:
         self._last_model = None  # snapshot of the most recent SAT solve
         self._assumptions = []  # assumptions of the solve in progress
         self._assumed = []  # assumptions backing the kept trail (last SAT)
+        self._conflict_core = None  # failed-assumption core of the last UNSAT
         self.restart_base = restart_base
         self._luby_index = 1
         self._max_learned = reduce_base
@@ -124,6 +125,8 @@ class SatSolver:
             "restarts": 0,
             "deleted_clauses": 0,
             "minimized_literals": 0,
+            "assumption_cores": 0,
+            "core_literals": 0,
         }
 
     @property
@@ -296,12 +299,41 @@ class SatSolver:
         of a SAT result is kept; the next call backtracks only to the
         longest assumption prefix shared with this one (full reuse for
         assumption-free enumeration loops).
+
+        After an UNSAT result :meth:`unsat_core` names the subset of
+        ``assumptions`` actually responsible.
         """
         self.stats["solve_calls"] += 1
         self._last_model = None
+        self._conflict_core = None
+        assumptions = list(assumptions)
+        result = self._solve_under(assumptions)
+        if result is None:
+            if self._conflict_core is None:
+                self._conflict_core = ()
+            if assumptions:
+                self.stats["assumption_cores"] += 1
+                self.stats["core_literals"] += len(self._conflict_core)
+        return result
+
+    def unsat_core(self):
+        """The failed-assumption core of the most recent UNSAT solve.
+
+        Returns a tuple: a subset of the last ``solve`` call's assumptions
+        such that the clause database conjoined with just those literals
+        is already unsatisfiable (empty when the database alone is UNSAT).
+        Returns None when the most recent solve was satisfiable.  The core
+        is *a* small explanation, not guaranteed minimal -- it is read off
+        the final implication graph (MiniSat's ``analyzeFinal``), so it
+        costs no extra solving.
+        """
+        if self._conflict_core is None:
+            return None
+        return tuple(self._conflict_core)
+
+    def _solve_under(self, assumptions):
         if self._unsat:
             return None
-        assumptions = list(assumptions)
         for lit in assumptions:
             self.ensure_vars(lit if lit > 0 else -lit)
         if self._pending:
@@ -369,6 +401,7 @@ class SatSolver:
                     self._trail_lim.append(len(self._trail))
                 else:
                     # The assumption is falsified by the others + the DB.
+                    self._conflict_core = self._analyze_final(lit)
                     self._backtrack(0)
                     return None
                 continue
@@ -504,6 +537,40 @@ class SatSolver:
         clause = _make_clause(learned, learned=True, lbd=lbd)
         self._attach(clause)
         self._enqueue(learned[0], clause)
+
+    def _analyze_final(self, lit):
+        """Assumptions responsible for the assumption ``lit`` being false.
+
+        Walks the implication graph backward from ``-lit`` (which is on
+        the trail): every reached pseudo-decision is an assumption of the
+        current solve and joins the core; propagated literals expand into
+        their antecedents.  Level-0 facts never contribute.  Must run
+        before the failing trail is backtracked away.
+        """
+        levels = self._levels
+        reasons = self._reasons
+        var = lit if lit > 0 else -lit
+        core = {lit}
+        if levels[var] == 0 or not self._trail_lim:
+            # ``-lit`` is a permanent consequence of the database: the
+            # assumption conflicts with the DB all by itself.
+            return (lit,)
+        seen = {var}
+        start = self._trail_lim[0]
+        for trail_lit in reversed(self._trail[start:]):
+            trail_var = trail_lit if trail_lit > 0 else -trail_lit
+            if trail_var not in seen:
+                continue
+            reason = reasons[trail_var]
+            if reason is None:
+                core.add(trail_lit)  # a pseudo-decision == an assumption
+                continue
+            for q in reason[1:]:  # slot 0 is the propagated literal itself
+                q_var = q if q > 0 else -q
+                if levels[q_var] > 0:
+                    seen.add(q_var)
+        # Preserve the caller's assumption order (lit is among them).
+        return tuple(a for a in self._assumptions if a in core)
 
     # ------------------------------------------------------------------
     # Learned-clause database reduction

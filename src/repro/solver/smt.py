@@ -117,6 +117,8 @@ class Solver:
             "restarts": 0,
             "clauses_deleted": 0,
             "literals_minimized": 0,
+            "unsat_cores": 0,
+            "unsat_core_literals": 0,
         }
 
     # ------------------------------------------------------------------
@@ -314,6 +316,10 @@ class Solver:
         stats["restarts"] += sat_stats["restarts"]
         stats["clauses_deleted"] += sat_stats["deleted_clauses"]
         stats["literals_minimized"] += sat_stats["minimized_literals"]
+        # Failed-assumption cores (incremental feasibility sessions): the
+        # pair gives the count and total size, hence the mean core size.
+        stats["unsat_cores"] += sat_stats["assumption_cores"]
+        stats["unsat_core_literals"] += sat_stats["core_literals"]
 
     def _theory_ok(self, literals):
         key = frozenset(literals)

@@ -26,6 +26,7 @@ from repro.witness.build import (
     format_witness_lines,
     generate_witness,
     remap_witness,
+    witness_divergence_sentence,
     witness_to_dict,
 )
 from repro.witness.divergence import divergence_formula, emits_single_row
@@ -46,5 +47,6 @@ __all__ = [
     "remap_witness",
     "results_differ",
     "shrink_instance",
+    "witness_divergence_sentence",
     "witness_to_dict",
 ]

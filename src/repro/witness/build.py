@@ -123,6 +123,16 @@ def format_witness_lines(witness):
     return lines
 
 
+def witness_divergence_sentence(witness):
+    """One-sentence divergence summary used by witness-guided hint text."""
+    wrong = ", ".join(_format_row(r) for r in witness.wrong_result)
+    target = ", ".join(_format_row(r) for r in witness.target_result)
+    return (
+        f"On this database your query returns {wrong or '(no rows)'}; "
+        f"the reference returns {target or '(no rows)'}."
+    )
+
+
 def remap_witness(witness, remap_text):
     """Rewrite the witness's alias-qualified strings via ``remap_text``."""
     return replace(

@@ -51,38 +51,70 @@ class InjectedPredicate:
         )
 
 
-def _mutate_atom(atom, rng, all_vars):
-    """Mutate one atomic predicate; returns (mutated, kind) or None."""
+def _string_typos(value, rng):
+    """Deterministic (per rng) typo variants of a string constant."""
+    variants = []
+    if value:
+        variants.append(value[0].swapcase() + value[1:])
+        variants.append(value + "s")
+    if len(value) > 1:
+        variants.append(value[:-1])
+        variants.append(value.lower())
+    variants = [v for v in variants if v != value]
+    return rng.choice(variants) if variants else None
+
+
+def _mutate_atom(atom, rng, all_vars, kinds=None):
+    """Mutate one atomic predicate; returns (mutated, kind) or None.
+
+    ``kinds`` optionally restricts the mutation families considered
+    (labels as recorded on :class:`Injection`: ``operator-flip``,
+    ``operator-weaken``, ``constant``, ``column``).
+    """
     choices = []
     if atom.op in _FLIP:
-        choices.append("flip")
+        choices.append(("flip", "operator-flip"))
     if atom.op in _WEAKEN:
-        choices.append("weaken")
+        choices.append(("weaken", "operator-weaken"))
     if isinstance(atom.right, Const) and atom.right.type.is_numeric:
-        choices.append("constant")
+        choices.append(("constant", "constant"))
+    if (
+        isinstance(atom.right, Const)
+        and atom.right.type == SqlType.STRING
+        and _string_typos(atom.right.value, random.Random(0)) is not None
+    ):
+        choices.append(("string", "constant"))
     swap_candidates = [
         v
         for v in all_vars
         if v.vtype == atom.left.type and v != atom.left
     ]
     if isinstance(atom.left, Var) and swap_candidates:
-        choices.append("column")
+        choices.append(("column", "column"))
+    if kinds is not None:
+        choices = [c for c in choices if c[1] in kinds]
     if not choices:
         return None
-    choice = rng.choice(choices)
+    choice, kind = rng.choice(choices)
     if choice == "flip":
-        return Comparison(_FLIP[atom.op], atom.left, atom.right), "operator-flip"
+        return Comparison(_FLIP[atom.op], atom.left, atom.right), kind
     if choice == "weaken":
-        return Comparison(_WEAKEN[atom.op], atom.left, atom.right), "operator-weaken"
+        return Comparison(_WEAKEN[atom.op], atom.left, atom.right), kind
     if choice == "constant":
         delta = rng.choice([-10, -1, 1, 5, 100])
         new_value = atom.right.value + delta
         return (
             Comparison(atom.op, atom.left, Const(new_value, atom.right.type)),
-            "constant",
+            kind,
+        )
+    if choice == "string":
+        typo = _string_typos(atom.right.value, rng)
+        return (
+            Comparison(atom.op, atom.left, Const(typo, SqlType.STRING)),
+            kind,
         )
     new_var = rng.choice(swap_candidates)
-    return Comparison(atom.op, new_var, atom.right), "column"
+    return Comparison(atom.op, new_var, atom.right), kind
 
 
 def _mutate_operator(node, rng):
@@ -94,11 +126,14 @@ def _mutate_operator(node, rng):
     return None
 
 
-def inject_errors(predicate, num_errors, seed=0, allow_operator_swap=False):
+def inject_errors(predicate, num_errors, seed=0, allow_operator_swap=False,
+                  kinds=None):
     """Inject ``num_errors`` independent errors into ``predicate``.
 
     Mutation sites are disjoint atoms (plus, optionally, internal AND/OR
-    nodes).  Deterministic for a given seed.  Returns
+    nodes).  Deterministic for a given seed.  ``kinds`` restricts the atom
+    mutation families (see :func:`_mutate_atom`); ``and-or-swap`` sites are
+    governed by ``allow_operator_swap`` independently.  Returns
     :class:`InjectedPredicate` (`wrong` carries the mutations; `correct` is
     the input).
     """
@@ -127,7 +162,7 @@ def inject_errors(predicate, num_errors, seed=0, allow_operator_swap=False):
         if any(_overlaps(path, inj.path) for inj in injections):
             continue
         if isinstance(node, Comparison):
-            mutated = _mutate_atom(node, rng, all_vars)
+            mutated = _mutate_atom(node, rng, all_vars, kinds=kinds)
             if mutated is None:
                 continue
             new_node, kind = mutated

@@ -1,0 +1,280 @@
+"""Tests for the corpus subsystem: mutations, generation, evaluation."""
+
+import json
+
+import pytest
+
+from repro.corpus import (
+    CorpusGenerator,
+    bundled_sources,
+    evaluate_corpus,
+    mutate_query,
+)
+from repro.corpus.mutations import STAGES, MutationRecord
+from repro.service.cache import canonical_key
+from repro.sqlparser.rewrite import parse_query_extended
+from repro.workloads import beers, dblp, tpch
+
+
+@pytest.fixture(scope="module")
+def beers_cat():
+    return beers.catalog()
+
+
+@pytest.fixture(scope="module")
+def dblp_cat():
+    return dblp.catalog()
+
+
+class TestMutateQuery:
+    def test_deterministic_per_seed(self, beers_cat):
+        target = parse_query_extended(beers.SOLUTION_B, beers_cat)
+        a = mutate_query(target, beers_cat, num_errors=2, seed=17)
+        b = mutate_query(target, beers_cat, num_errors=2, seed=17)
+        assert a is not None and b is not None
+        assert a.wrong.to_sql() == b.wrong.to_sql()
+        assert a.mutations == b.mutations
+
+    def test_wrong_differs_canonically(self, beers_cat):
+        target = parse_query_extended(beers.SOLUTION_C, beers_cat)
+        for seed in range(10):
+            mutant = mutate_query(target, beers_cat, seed=seed)
+            assert mutant is not None
+            assert canonical_key(mutant.wrong) != canonical_key(mutant.correct)
+
+    def test_mutants_reresolve(self, dblp_cat):
+        # Every emitted mutant must be a well-formed query of the fragment.
+        for question in dblp.QUESTIONS:
+            target = parse_query_extended(question.correct_sql, dblp_cat)
+            for seed in range(6):
+                mutant = mutate_query(target, dblp_cat, num_errors=2, seed=seed)
+                if mutant is None:
+                    continue
+                parse_query_extended(mutant.wrong.to_sql(), dblp_cat)
+
+    def test_stage_restriction_honoured(self, beers_cat):
+        target = parse_query_extended(beers.SOLUTION_B, beers_cat)
+        for stage in ("WHERE", "SELECT", "FROM"):
+            mutant = mutate_query(
+                target, beers_cat, num_errors=1, seed=3, stages=(stage,)
+            )
+            assert mutant is not None
+            assert set(m.stage for m in mutant.mutations) == {stage}
+
+    def test_having_and_groupby_operators(self, beers_cat):
+        target = parse_query_extended(beers.SOLUTION_D1, beers_cat)
+        seen = set()
+        for seed in range(20):
+            mutant = mutate_query(
+                target, beers_cat, num_errors=1, seed=seed,
+                stages=("HAVING", "GROUP BY"),
+            )
+            if mutant is not None:
+                seen.update(m.stage for m in mutant.mutations)
+        assert "HAVING" in seen
+        assert "GROUP BY" in seen
+
+    def test_from_table_swap_on_dblp(self, dblp_cat):
+        # conference_paper vs journal_paper share pubkey/title/year: the
+        # classic join-table confusion must be producible.
+        target = parse_query_extended(dblp.Q1.correct_sql, dblp_cat)
+        kinds = set()
+        for seed in range(25):
+            mutant = mutate_query(
+                target, dblp_cat, num_errors=1, seed=seed, stages=("FROM",)
+            )
+            if mutant is not None:
+                kinds.update(m.kind for m in mutant.mutations)
+        assert "wrong-table" in kinds
+
+    def test_alias_confusion_on_self_join(self, beers_cat):
+        target = parse_query_extended(beers.SOLUTION_D2, beers_cat)
+        kinds = set()
+        for seed in range(30):
+            mutant = mutate_query(
+                target, beers_cat, num_errors=1, seed=seed, stages=("WHERE",)
+            )
+            if mutant is not None:
+                kinds.update(m.kind for m in mutant.mutations)
+        assert "alias-confusion" in kinds
+
+    def test_difficulty_scoring(self, beers_cat):
+        target = parse_query_extended(beers.SOLUTION_B, beers_cat)
+        single = mutate_query(target, beers_cat, num_errors=1, seed=1)
+        assert single.difficulty == 1
+        double = mutate_query(target, beers_cat, num_errors=2, seed=1)
+        assert double.difficulty == 2 * len(double.stages)
+        assert double.difficulty >= 2
+
+    def test_record_shape(self, beers_cat):
+        target = parse_query_extended(beers.SOLUTION_A, beers_cat)
+        mutant = mutate_query(target, beers_cat, num_errors=1, seed=0)
+        record = mutant.mutations[0]
+        assert isinstance(record, MutationRecord)
+        assert record.stage in STAGES
+        payload = record.to_dict()
+        assert set(payload) == {"stage", "kind", "site", "original"}
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self):
+        a = CorpusGenerator(schemas=("beers",), seed=4).generate_pool(6)
+        b = CorpusGenerator(schemas=("beers",), seed=4).generate_pool(6)
+        assert [e.wrong_sql for e in a] == [e.wrong_sql for e in b]
+        assert [e.mutations for e in a] == [e.mutations for e in b]
+
+    def test_entries_regenerable_from_their_seed(self):
+        generator = CorpusGenerator(schemas=("beers",), seed=9)
+        pool = generator.generate_pool(5)
+        source = generator.sources[0]
+        entry = pool[3]
+        index = int(entry.seed.rsplit(":", 1)[1])
+        again = generator.entry_for(
+            source, entry.qid, entry.target_sql, index
+        )
+        assert again is not None
+        assert again.wrong_sql == entry.wrong_sql
+
+    def test_dedup_by_canonical_form(self):
+        generator = CorpusGenerator(schemas=("beers",), seed=0)
+        pool = generator.generate_pool(25)
+        cat = beers.catalog()
+        keys = set()
+        for entry in pool:
+            key = (
+                entry.schema,
+                canonical_key(parse_query_extended(entry.target_sql, cat)),
+                canonical_key(parse_query_extended(entry.wrong_sql, cat)),
+            )
+            assert key not in keys
+            keys.add(key)
+        assert generator.duplicates > 0  # 25 seeds/query must collide some
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator(schemas=("nope",))
+
+    def test_bundled_sources_cover_every_schema(self):
+        names = [s.name for s in bundled_sources()]
+        assert names == ["beers", "brass", "dblp", "tpch", "userstudy"]
+        for source in bundled_sources():
+            assert source.targets, source.name
+            catalog = source.catalog()
+            for _, sql in source.targets:
+                parse_query_extended(sql, catalog)
+
+    def test_to_dict_round_trips_json(self):
+        pool = CorpusGenerator(schemas=("beers",), seed=1).generate_pool(3)
+        for entry in pool:
+            payload = json.loads(json.dumps(entry.to_dict()))
+            assert payload["schema"] == "beers"
+            assert payload["mutations"]
+            assert payload["difficulty"] == entry.difficulty
+
+
+class TestEvaluateCorpus:
+    @pytest.fixture(scope="class")
+    def beers_eval(self):
+        pool = CorpusGenerator(schemas=("beers",), seed=0).generate_pool(6)
+        result = evaluate_corpus(
+            pool, schemas=("beers",), processes=1, witness=True,
+            witness_limit=4,
+        )
+        return pool, result
+
+    def test_everything_grades(self, beers_eval):
+        pool, result = beers_eval
+        assert result.total == len(pool)
+        assert result.errors == 0
+        assert result.grade_success_rate == 1.0
+
+    def test_hint_coverage_and_agreement(self, beers_eval):
+        _, result = beers_eval
+        assert result.hint_coverage >= 0.9
+        assert result.stage_recall >= 0.9
+        assert 0.0 <= result.stage_exact_rate <= 1.0
+
+    def test_witness_subsample(self, beers_eval):
+        _, result = beers_eval
+        assert result.witness_attempted == 4
+        assert result.witness_found >= 3
+
+    def test_by_schema_and_kind_breakdowns(self, beers_eval):
+        pool, result = beers_eval
+        assert result.by_schema["beers"]["total"] == len(pool)
+        assert sum(v["count"] for v in result.by_kind.values()) == sum(
+            len(e.mutations) for e in pool
+        )
+
+    def test_to_dict_is_json_safe(self, beers_eval):
+        _, result = beers_eval
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["grade_success_rate"] == 1.0
+        assert payload["throughput"] > 0
+
+
+class TestCorpusCli:
+    def test_list_schemas(self, capsys):
+        from repro.cli import main
+
+        assert main(["corpus", "--list-schemas"]) == 0
+        out = capsys.readouterr().out
+        for name in ("beers", "brass", "dblp", "tpch", "userstudy"):
+            assert name in out
+
+    def test_generate_only_with_dump(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dump = tmp_path / "corpus.jsonl"
+        code = main(
+            [
+                "corpus", "--schemas", "beers", "--per-query", "3",
+                "--generate-only", "--dump", str(dump),
+            ]
+        )
+        assert code == 0
+        lines = dump.read_text().splitlines()
+        assert lines
+        entry = json.loads(lines[0])
+        assert entry["schema"] == "beers" and entry["mutations"]
+
+    def test_end_to_end_eval(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "corpus", "--schemas", "beers", "--per-query", "3",
+                "--processes", "1", "--json", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hint coverage" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["errors"] == 0
+        assert payload["graded"] == payload["total"]
+
+    def test_unknown_schema_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["corpus", "--schemas", "bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTpchMutations:
+    def test_tpch_where_mutants(self):
+        cat = tpch.catalog()
+        target = tpch.Q5.resolve(cat)
+        mutant = mutate_query(target, cat, num_errors=2, seed=2,
+                              stages=("WHERE",))
+        assert mutant is not None
+        assert all(m.stage == "WHERE" for m in mutant.mutations)
+        parse_query_extended(mutant.wrong.to_sql(), cat)
+
+    def test_tpch_nested_q7(self):
+        cat = tpch.catalog()
+        target = tpch.Q7_NESTED.resolve(cat)
+        mutant = mutate_query(target, cat, num_errors=1, seed=5)
+        assert mutant is not None
+        parse_query_extended(mutant.wrong.to_sql(), cat)

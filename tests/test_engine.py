@@ -188,6 +188,33 @@ class TestDataGenAndDiff:
         db = DataGenerator(beers_catalog, seed=1, max_rows=2).random_instance()
         assert all(len(rows) <= 2 for rows in db.tables.values())
 
+    def test_explicit_seed_ignores_shared_stream_position(self, beers_catalog):
+        # random_instance(seed=...) must be a pure function of the seed,
+        # independent of how much of the shared stream was consumed.
+        fresh = DataGenerator(beers_catalog, seed=3)
+        consumed = DataGenerator(beers_catalog, seed=3)
+        consumed.random_instance()  # burn shared-stream state
+        a = fresh.random_instance(seed="probe")
+        b = consumed.random_instance(seed="probe")
+        assert a.tables == b.tables
+
+    def test_instances_batch_matches_individual_calls(self, beers_catalog):
+        # instances(count, seed) derives per-index seeds, so trial i of a
+        # run can be regenerated without replaying the stream up to it.
+        generator = DataGenerator(beers_catalog, seed=0)
+        batch = list(generator.instances(4, seed="run"))
+        for index, db in enumerate(batch):
+            lone = DataGenerator(beers_catalog, seed=99).random_instance(
+                seed=f"run:{index}"
+            )
+            assert db.tables == lone.tables
+
+    def test_instances_same_seed_identical_across_calls(self, beers_catalog):
+        generator = DataGenerator(beers_catalog, seed=5)
+        first = [db.tables for db in generator.instances(3, seed="s")]
+        second = [db.tables for db in generator.instances(3, seed="s")]
+        assert first == second
+
     def test_differential_detects_difference(self, beers_catalog):
         q1 = parse_query("SELECT beer FROM Serves WHERE price > 2", beers_catalog)
         q2 = parse_query("SELECT beer FROM Serves WHERE price > 3", beers_catalog)

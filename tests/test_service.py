@@ -21,6 +21,7 @@ from repro.service import (
 )
 from repro.service.session import format_report
 from repro.sqlparser.rewrite import parse_query_extended
+from repro.witness import witness_to_dict
 from repro.workloads import dblp, userstudy
 
 TARGET = "SELECT beer FROM Serves WHERE price > 2"
@@ -572,3 +573,132 @@ class TestCliSubcommands:
         for key in ("restarts", "clauses_deleted", "literals_minimized",
                     "theory_cache_hits"):
             assert key in out, key
+
+
+class TestCacheDiskSpill:
+    def test_round_trip_preserves_entries_and_order(self, tmp_path,
+                                                    beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        session.grade(WRONG)
+        session.grade("SELECT beer FROM Serves WHERE price > 3")
+        path = tmp_path / "cache.json"
+        saved = session.cache.save(str(path))
+        assert saved == 2
+        restored = ArtifactCache()
+        assert restored.load(str(path)) == 2
+        assert list(restored._entries) == list(session.cache._entries)
+
+    def test_restored_cache_serves_without_pipeline_runs(self, tmp_path,
+                                                         beers_catalog):
+        warm = AssignmentSession(beers_catalog, TARGET)
+        first = warm.grade(WRONG, witness=True)
+        path = tmp_path / "cache.json"
+        warm.cache.save(str(path))
+
+        cold = AssignmentSession(beers_catalog, TARGET)
+        cold.cache.load(str(path))
+        second = cold.grade(WRONG, witness=True)
+        assert second.cached
+        assert cold.pipeline_runs == 0
+        assert cold.witness_runs == 0
+        assert first.text(show_fixes=True) == second.text(show_fixes=True)
+        assert first.to_dict()["stages"] == second.to_dict()["stages"]
+        assert (witness_to_dict(first.witness)
+                == witness_to_dict(second.witness))
+
+    def test_negative_witness_sentinel_round_trips(self, tmp_path,
+                                                   beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        canonical, _ = session.prepare(WRONG)
+        session.cache.put(("witness", canonical), "__no_witness__")
+        path = tmp_path / "cache.json"
+        session.cache.save(str(path))
+        restored = ArtifactCache()
+        restored.load(str(path))
+        assert restored.get(("witness", canonical)) == "__no_witness__"
+
+    def test_unknown_artifacts_skipped_not_fatal(self, tmp_path,
+                                                 beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        session.grade(WRONG)
+        canonical, _ = session.prepare(WRONG)
+        session.cache.put(("mystery", canonical), object())
+        path = tmp_path / "cache.json"
+        assert session.cache.save(str(path)) == 1  # the report alone
+
+    def test_restored_alpha_equivalent_submission_hits(self, tmp_path,
+                                                       beers_catalog):
+        warm = AssignmentSession(beers_catalog, TARGET)
+        warm.grade(WRONG)
+        path = tmp_path / "cache.json"
+        warm.cache.save(str(path))
+        cold = AssignmentSession(beers_catalog, TARGET)
+        cold.cache.load(str(path))
+        result = cold.grade(
+            "select S.beer from Serves s WHERE s.price >= 2"
+        )
+        assert result.cached and cold.pipeline_runs == 0
+
+
+class TestWitnessText:
+    def test_default_rendering_unchanged(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        plain = session.grade(WRONG)
+        with_witness = session.grade(WRONG, witness=True)
+        # The flag is off: no divergence sentence anywhere.
+        assert "On this database" not in plain.text()
+        assert "On this database" not in with_witness.text()
+
+    def test_flag_appends_divergence_sentence(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        result = session.grade(WRONG, witness=True)
+        text = result.text(witness_text=True)
+        assert "On this database your query returns" in text
+        assert "; the reference returns" in text
+        # The sentence is anchored to the failing stage block.
+        where_block = text.split("[WHERE]")[1]
+        assert "On this database" in where_block
+
+    def test_flag_without_witness_is_noop(self, beers_catalog):
+        session = AssignmentSession(beers_catalog, TARGET)
+        result = session.grade(WRONG)
+        assert result.text(witness_text=True) == result.text()
+
+    def test_http_grade_witness_text(self, client):
+        _, created = client.post(
+            "/assignments", {"schema": SCHEMA, "target_sql": TARGET}
+        )
+        aid = created["assignment_id"]
+        _, body = client.post(
+            "/grade",
+            {"assignment_id": aid, "sql": WRONG, "witness_text": True},
+        )
+        assert "On this database your query returns" in body["text"]
+        assert body["witness"]  # witness_text implies witness generation
+        _, plain = client.post(
+            "/grade", {"assignment_id": aid, "sql": WRONG}
+        )
+        assert "On this database" not in plain["text"]
+
+    @pytest.fixture()
+    def schema_file(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(SCHEMA))
+        return str(path)
+
+    def test_cli_hint_witness_text(self, schema_file, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "hint",
+                "--schema", schema_file,
+                "--target-sql", TARGET,
+                "--working-sql", WRONG,
+                "--witness-text",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "On this database your query returns" in out
+        assert "Counterexample instance" in out

@@ -191,6 +191,80 @@ class TestIncrementalAssumptions:
             assert key in solver.stats
 
 
+class TestUnsatCore:
+    def test_none_before_any_solve_and_after_sat(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.unsat_core() is None
+        assert solver.solve(assumptions=[1]) is not None
+        assert solver.unsat_core() is None
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        solver = SatSolver()
+        solver.ensure_vars(6)
+        solver.add_clause([-1, -2, 3])  # x1 & x2 -> x3
+        solver.add_clause([-3, -4])  # x3 -> !x4
+        assert solver.solve(assumptions=[1, 2, 5, 4]) is None
+        core = solver.unsat_core()
+        assert 4 in core
+        assert 5 not in core  # x5 never touches the conflict
+        assert set(core) <= {1, 2, 5, 4}
+
+    def test_core_is_itself_unsat(self):
+        solver = SatSolver()
+        solver.ensure_vars(8)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, -1])  # x1 is self-defeating
+        assert solver.solve(assumptions=[7, 8, 1]) is None
+        core = solver.unsat_core()
+        assert solver.solve(assumptions=list(core)) is None
+
+    def test_db_level_unsat_has_empty_core(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve(assumptions=[2]) is None
+        assert solver.unsat_core() == ()
+
+    def test_contradictory_assumption_pair(self):
+        solver = SatSolver()
+        solver.ensure_vars(3)
+        solver.add_clause([1, 2, 3])
+        assert solver.solve(assumptions=[2, -2]) is None
+        assert set(solver.unsat_core()) == {2, -2}
+
+    def test_assumption_conflicting_with_db_alone(self):
+        solver = SatSolver()
+        solver.add_clause([-1])
+        assert solver.solve(assumptions=[1, 2]) is None
+        assert solver.unsat_core() == (1,)
+
+    def test_core_counters(self):
+        solver = SatSolver()
+        solver.add_clause([-1])
+        assert solver.stats["assumption_cores"] == 0
+        assert solver.solve(assumptions=[1]) is None
+        assert solver.stats["assumption_cores"] == 1
+        assert solver.stats["core_literals"] == 1
+
+    def test_core_after_conflict_driven_search(self):
+        # PHP(3,2) plus a free pigeon-selection variable pool: any solve
+        # under assumptions must fail and name a core within them.
+        solver = SatSolver()
+        var = lambda i, j: 2 * (i - 1) + j
+        for i in (1, 2, 3):
+            solver.add_clause([var(i, 1), var(i, 2)])
+        for j in (1, 2):
+            for i in (1, 2, 3):
+                for k in range(i + 1, 4):
+                    solver.add_clause([-var(i, j), -var(k, j)])
+        solver.ensure_vars(10)
+        assert solver.solve(assumptions=[9, 10]) is None
+        # The database alone is UNSAT: no assumption is to blame.
+        assert solver.unsat_core() == ()
+
+
 class TestNonRecursive:
     def test_deep_propagation_chain_is_iterative(self):
         # A 3000-step implication chain would blow the recursion limit in

@@ -178,8 +178,19 @@ class TestCaching:
         local.is_satisfiable(cmp("<", A, B))
         snapshot = local.stats_snapshot()
         for key in ("restarts", "clauses_deleted", "literals_minimized",
-                    "theory_cache_hits", "cache_hit_rate"):
+                    "theory_cache_hits", "cache_hit_rate",
+                    "unsat_cores", "unsat_core_literals"):
             assert key in snapshot
+
+    def test_feasibility_session_counts_unsat_cores(self):
+        local = Solver()
+        atoms = [cmp("<", A, B), cmp("<", B, A), cmp("<", A, C)]
+        session = local.feasibility_session(atoms, ())
+        # Assignment 0b011 asserts A < B and B < A: infeasible; the SAT
+        # core fails under assumptions and records a failed-assumption core.
+        assert not session.feasible_prefix(0b11, 2)
+        assert local.stats["unsat_cores"] >= 1
+        assert local.stats["unsat_core_literals"] >= 1
 
 
 class TestFeasibilitySession:

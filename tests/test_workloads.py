@@ -167,6 +167,44 @@ class TestErrorInjection:
         injected = inject_errors(predicate, 2, seed=4)
         assert injected.ground_truth_cost() > 0
 
+    def test_string_constant_mutation(self, solver):
+        # Q3's mktsegment = 'BUILDING' atom is a string-typo candidate.
+        predicate = tpch.Q3.resolve().where
+        for seed in range(6):
+            injected = inject_errors(predicate, 1, seed=seed,
+                                     kinds=("constant",))
+            inj = injected.injections[0]
+            assert inj.kind == "constant"
+            assert not solver.is_equiv(injected.wrong, injected.correct)
+
+    def test_kinds_filter_restricts_families(self):
+        predicate = tpch.Q5.resolve().where
+        for seed in range(8):
+            injected = inject_errors(predicate, 2, seed=seed,
+                                     kinds=("operator-flip",))
+            assert all(i.kind == "operator-flip" for i in injected.injections)
+
+    def test_ground_truth_invariants_across_kinds(self, solver):
+        # Every mutation family must satisfy the by-construction contract:
+        # positive cost, and the ground-truth repair restores equivalence.
+        predicate = tpch.Q10.resolve().where
+        seen_kinds = set()
+        for seed in range(12):
+            injected = inject_errors(predicate, 1, seed=seed,
+                                     allow_operator_swap=True)
+            inj = injected.injections[0]
+            seen_kinds.add(inj.kind)
+            assert injected.ground_truth_cost() > 0
+            repaired = injected.ground_truth_repair().apply(injected.wrong)
+            assert solver.is_equiv(repaired, injected.correct)
+        assert len(seen_kinds) >= 3  # the pool exercises several families
+
+    def test_string_mutation_deterministic(self):
+        predicate = tpch.Q3.resolve().where
+        a = inject_errors(predicate, 1, seed=11, kinds=("constant",))
+        b = inject_errors(predicate, 1, seed=11, kinds=("constant",))
+        assert str(a.wrong) == str(b.wrong)
+
 
 class TestDblpWorkload:
     def test_four_questions(self):
