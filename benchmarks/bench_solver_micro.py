@@ -185,6 +185,44 @@ def sat_conjunctive_kernel(solver_cls):
     return calls
 
 
+ENUM_ATOMS = 9  # free atoms of the chrono-enumeration kernel
+ENUM_CHAIN = 24  # unit-forced auxiliary chain re-derived per model
+
+
+def sat_enumeration_chrono_kernel():
+    """Full model enumeration (chrono backtracking + trail saving), 9 atoms.
+
+    Enumerates every model of nine atom variables under four pair
+    implications (``x1 -> x2`` etc., so propagation interleaves with the
+    blocking clauses) plus a 24-step unit-forced auxiliary chain.  The
+    kernel asserts the model count (3^4 * 2 = 162) and that the
+    chronological path actually engaged; throughput is reported as
+    enumeration rounds per second (one round = 162 models + final UNSAT).
+    """
+    solver = SatSolver()
+    solver.ensure_vars(ENUM_ATOMS + ENUM_CHAIN)
+    solver.add_clause([ENUM_ATOMS + 1])
+    for i in range(1, ENUM_CHAIN):
+        solver.add_clause([-(ENUM_ATOMS + i), ENUM_ATOMS + i + 1])
+    for i in range(0, ENUM_ATOMS - 1, 2):
+        solver.add_clause([-(i + 1), i + 2])
+    models = 0
+    while True:
+        model = solver.solve()
+        if model is None:
+            break
+        models += 1
+        solver.add_clause(
+            [-v if model[v] else v for v in range(1, ENUM_ATOMS + 1)]
+        )
+    expected = 3 ** (ENUM_ATOMS // 2) * 2 ** (ENUM_ATOMS % 2)
+    assert models == expected, f"enumerated {models}, expected {expected}"
+    assert solver.stats["chrono_backtracks"] > 0, (
+        "chronological backtracking never engaged"
+    )
+    return models
+
+
 A, B, C, D, E, F = (intvar(n) for n in "ABCDEF")
 _CHAIN_VARS = (A, B, C, D, E, F)
 
@@ -303,17 +341,26 @@ def _time_kernel(fn, min_seconds=0.6):
             return reps / elapsed, reps
 
 
-def _committed_baseline():
-    """sat_conjunctive ops/sec from the committed BENCH_solver.json."""
+#: Kernels gated against the committed BENCH_solver.json numbers.
+GATED_KERNELS = ("sat_conjunctive", "sat_enumeration_chrono")
+
+
+def _committed_baselines():
+    """Gated-kernel ops/sec from the committed BENCH_solver.json."""
     try:
         committed = json.loads(OUT_PATH.read_text())
-        return committed["kernels"]["sat_conjunctive"]["ops_per_sec"]
+        kernels = committed["kernels"]
+        return {
+            name: kernels[name]["ops_per_sec"]
+            for name in GATED_KERNELS
+            if name in kernels
+        }
     except (OSError, KeyError, ValueError):
-        return None
+        return {}
 
 
 def main():
-    baseline = _committed_baseline()
+    baselines = _committed_baselines()
     results = {}
 
     new_ops, _ = _time_kernel(lambda: sat_conjunctive_kernel(SatSolver))
@@ -325,6 +372,15 @@ def main():
         "ops_per_sec": round(new_ops, 3),
         "seed_dpll_ops_per_sec": round(seed_ops, 3),
         "speedup_vs_seed": round(speedup, 2),
+    }
+
+    enum_ops, _ = _time_kernel(sat_enumeration_chrono_kernel)
+    enum_models = 3 ** (ENUM_ATOMS // 2) * 2 ** (ENUM_ATOMS % 2)
+    results["sat_enumeration_chrono"] = {
+        "description": sat_enumeration_chrono_kernel.__doc__
+        .strip().splitlines()[0],
+        "ops_per_sec": round(enum_ops, 3),
+        "models_per_sec": round(enum_ops * enum_models, 1),
     }
 
     for name, fn in [
@@ -352,13 +408,14 @@ def main():
     assert speedup >= 3.0, (
         f"conjunctive SAT kernel speedup {speedup:.2f}x is below the 3x bar"
     )
-    if baseline:
-        ratio = new_ops / baseline
-        print(f"  sat_conjunctive vs committed baseline: {ratio:.2f}x "
+    for name, committed_ops in baselines.items():
+        current = results[name]["ops_per_sec"]
+        ratio = current / committed_ops
+        print(f"  {name} vs committed baseline: {ratio:.2f}x "
               f"(gate: >= {MIN_REGRESSION_RATIO}x)")
         assert ratio >= MIN_REGRESSION_RATIO, (
-            f"sat_conjunctive {new_ops:.1f} ops/s fell below "
-            f"{MIN_REGRESSION_RATIO}x the committed {baseline:.1f} ops/s"
+            f"{name} {current:.1f} ops/s fell below "
+            f"{MIN_REGRESSION_RATIO}x the committed {committed_ops:.1f} ops/s"
         )
 
     payload = {

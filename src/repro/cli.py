@@ -175,6 +175,11 @@ def build_parser():
         "--max-sites", type=int, default=2, help="repair-site cap (default 2)"
     )
     batch.add_argument(
+        "--witness", action="store_true",
+        help="attach an executor-verified counterexample to every wrong "
+        "result (witness construction is sharded over the worker pool)",
+    )
+    batch.add_argument(
         "--show-hints", action="store_true",
         help="print the hint block for every submission",
     )
@@ -249,6 +254,13 @@ def build_parser():
         "cache: loaded at startup (if present) and saved on shutdown, so "
         "canonical-form reports and witnesses survive restarts "
         "(requires --schema)",
+    )
+    serve.add_argument(
+        "--cache-spill-interval", type=float, default=0.0, metavar="SECONDS",
+        help="also spill the cache to --cache-file every SECONDS seconds "
+        "in the background (atomic temp-file + rename writes), so a crash "
+        "loses at most one interval of artifacts (0 disables; requires "
+        "--cache-file)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress access log")
     serve.set_defaults(func=cmd_serve)
@@ -434,6 +446,7 @@ def cmd_grade_batch(args):
             submissions,
             processes=args.processes,
             max_sites=args.max_sites,
+            witness=args.witness,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -586,7 +599,23 @@ def cmd_serve(args):
                       file=sys.stderr)
                 return EXIT_ERROR
             print(f"restored {count} cached artifact(s) from {args.cache_file}")
-    code = serve(args.host, args.port, service, quiet=args.quiet)
+    spiller = None
+    if args.cache_spill_interval:
+        if args.cache_spill_interval < 0:
+            print("error: --cache-spill-interval must be positive",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        if not args.cache_file:
+            print("error: --cache-spill-interval requires --cache-file",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        from repro.service.server import CacheSpiller
+
+        spiller = CacheSpiller(
+            session.cache, args.cache_file, args.cache_spill_interval
+        )
+    code = serve(args.host, args.port, service, quiet=args.quiet,
+                 spiller=spiller)
     if args.cache_file and session is not None:
         count = session.cache.save(args.cache_file)
         print(f"saved {count} cached artifact(s) to {args.cache_file}")

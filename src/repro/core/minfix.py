@@ -145,9 +145,20 @@ def build_truth_table(mapping, lower, upper, solver, context=()):
     every completion is a don't-care and the subtree is skipped.  When the
     context consists of atomic conjuncts only, feasibility goes straight to
     the theory layer (no SAT search); otherwise the SMT facade is used.
+
+    Pruning is core-guided: every infeasible answer comes with an unsat
+    core (failed SAT assumptions from the incremental
+    ``FeasibilitySession``, or a shrunk theory core on the theory-direct
+    path), recorded as a ``(mask, bits)`` pair over atom indices.  A DFS
+    node whose assigned prefix already matches a known core is refuted
+    without any solver work at all -- the subtree is don't-cared outright
+    (counter: ``core_pruned_subtrees``) even though this particular prefix
+    was never queried.
     """
     table = TruthTable(mapping.num_vars)
     checker = _FeasibilityChecker(mapping, solver, context)
+    cores = checker.cores
+    stats = getattr(solver, "stats", None)
 
     def record(assignment):
         low = mapping.evaluate(lower, assignment)
@@ -158,10 +169,21 @@ def build_truth_table(mapping, lower, upper, solver, context=()):
             table.set(assignment, DONT_CARE)
 
     def dfs(index, assignment):
+        bound = 1 << index
+        for cmask, cbits in cores:
+            # A core confined to the assigned bits (< bound) that the
+            # prefix matches refutes the whole subtree -- no query needed.
+            if cmask < bound and assignment & cmask == cbits:
+                table.fill_stride(assignment, bound, DONT_CARE)
+                if stats is not None:
+                    stats["core_pruned_subtrees"] = (
+                        stats.get("core_pruned_subtrees", 0) + 1
+                    )
+                return
         if not checker.feasible_prefix(assignment, index):
             # Every completion of the infeasible prefix shares the low bits:
             # the subtree is exactly range(assignment, 2**n, 2**index).
-            table.fill_stride(assignment, 1 << index, DONT_CARE)
+            table.fill_stride(assignment, bound, DONT_CARE)
             return
         if index == mapping.num_vars:
             record(assignment)
@@ -193,6 +215,12 @@ class _FeasibilityChecker:
         self._context_prefix = None
         self._atom_pairs = None
         self._session = None
+        #: Discovered infeasibility cores as ``(mask, bits)`` pairs over
+        #: atom indices: any assignment with ``assignment & mask == bits``
+        #: is theory-infeasible.  The truth-table DFS scans this list to
+        #: refute whole subtrees without a query.
+        self.cores = []
+        self._core_keys = set()
         if self._literals is not None:
             atom_literals, context_literals = self._literals
             # Canonical-order the context once; per-prefix queries then just
@@ -203,6 +231,14 @@ class _FeasibilityChecker:
                 ((lit.atom, lit.positive), (lit.atom, not lit.positive))
                 for lit in atom_literals
             ]
+            self._context_set = frozenset(self._context_prefix)
+            # (atom, polarity) theory literal -> (atom index, wanted bit);
+            # first writer wins on aliased atoms (either explanation is
+            # sound).
+            self._lit_to_bit = {}
+            for i, (when_set, when_clear) in enumerate(self._atom_pairs):
+                self._lit_to_bit.setdefault(when_set, (i, True))
+                self._lit_to_bit.setdefault(when_clear, (i, False))
 
     def _try_canonicalize(self):
         from repro.logic.formulas import And as _And, BoolConst as _BoolConst
@@ -246,14 +282,47 @@ class _FeasibilityChecker:
             literals.append(when_set if assignment & (1 << i) else when_clear)
         if not literals:
             return True
-        return self.solver._theory_ok(tuple(literals))
+        if self.solver._theory_ok(tuple(literals)):
+            return True
+        # Shrink the inconsistent set (memoized in the owning solver) and
+        # record it as a (mask, bits) core over atom indices.  Context
+        # literals hold for every prefix, so they contribute no bits.
+        mask = bits = 0
+        for literal in self.solver._shrink_core(tuple(literals)):
+            if literal in self._context_set:
+                continue
+            hit = self._lit_to_bit.get(literal)
+            if hit is None:
+                return False  # unmapped literal: skip recording
+            index, want = hit
+            mask |= 1 << index
+            if want:
+                bits |= 1 << index
+        self._add_core(mask, bits)
+        return False
 
     def _feasible_slow(self, assignment, length):
         if self._session is None:
             self._session = self.solver.feasibility_session(
                 self.mapping.atoms, self.context
             )
-        return self._session.feasible_prefix(assignment, length)
+        if self._session.feasible_prefix(assignment, length):
+            return True
+        pairs = self._session.last_core
+        if pairs is not None:
+            mask = bits = 0
+            for index, want in pairs:
+                mask |= 1 << index
+                if want:
+                    bits |= 1 << index
+            self._add_core(mask, bits)
+        return False
+
+    def _add_core(self, mask, bits):
+        key = (mask, bits)
+        if key not in self._core_keys:
+            self._core_keys.add(key)
+            self.cores.append(key)
 
 
 def min_fix(lower, upper, solver, context=()):

@@ -9,7 +9,14 @@ and folds the per-entry outcomes into corpus-level metrics:
   error (parse failures and ``RepairError`` both count as errors);
 * **hint coverage** -- share of graded entries flagged wrong (every
   flagged entry carries at least one hint by construction; un-flagged
-  mutants are *benign*: the mutation accidentally preserved semantics);
+  mutants are *benign*: the mutation accidentally preserved semantics,
+  and ``by_kind`` attributes each benign entry to its mutation kinds so
+  every miss is accounted for.  The two benign classes in the bundled
+  corpus: qualification-only mutations, where the recorded
+  extra/missing/wrong-column edit merely toggled ``col`` <-> ``table.col``
+  spelling, and join-equality column swaps, where the swapped column is
+  equated with the original by a WHERE join predicate -- see the
+  ``TestBenignMutants`` regression tests);
 * **ground-truth agreement** -- per flagged entry, the hinted stages are
   compared against the mutated stages (mean recall + exact-match rate);
 * **witness coverage** -- optionally, counterexample generation over a
@@ -158,7 +165,7 @@ def evaluate_corpus(
         schema_stats["total"] += 1
         for record in entry.mutations:
             kind_stats = result.by_kind.setdefault(
-                record.kind, {"count": 0, "flagged": 0}
+                record.kind, {"count": 0, "flagged": 0, "benign": 0}
             )
             kind_stats["count"] += 1
         if isinstance(outcome, GradeError):
@@ -168,6 +175,8 @@ def evaluate_corpus(
         schema_stats["graded"] += 1
         if outcome.all_passed:
             result.benign += 1
+            for record in entry.mutations:
+                result.by_kind[record.kind]["benign"] += 1
             continue
         result.flagged += 1
         schema_stats["flagged"] += 1

@@ -38,32 +38,48 @@ class GradeError:
 
 # Worker-process state, created once per worker by ``_init_worker``.
 _WORKER_SESSION = None
+_WORKER_WITNESS = False
 
 
-def _init_worker(catalog, target, max_sites, optimized):
-    global _WORKER_SESSION
+def _init_worker(catalog, target, max_sites, optimized,
+                 witness_seed=0, witness=False):
+    global _WORKER_SESSION, _WORKER_WITNESS
     _WORKER_SESSION = AssignmentSession(
-        catalog, target, max_sites=max_sites, optimized=optimized
+        catalog, target, max_sites=max_sites, optimized=optimized,
+        witness_seed=witness_seed,
     )
+    _WORKER_WITNESS = witness
 
 
 def _grade_unique(canonical):
     """Grade one canonical query in a worker.
 
-    Returns ``(report_or_None, error_or_None, solver_delta)``.  Pipeline
-    failures (e.g. ``RepairError`` when no viable repair exists under the
-    site cap) are captured per-submission, never raised: one unrepairable
-    query must not abort the rest of the pile.
+    Returns ``(report_or_None, error_or_None, solver_delta,
+    witness_cache_entry_or_None)``.  Pipeline failures (e.g.
+    ``RepairError`` when no viable repair exists under the site cap) are
+    captured per-submission, never raised: one unrepairable query must
+    not abort the rest of the pile.
+
+    When the pool was initialized with ``witness=True``, a wrong report's
+    counterexample is generated here too -- the expensive half of witness
+    construction rides the same shards as grading instead of serializing
+    in the parent afterwards.  The raw cache entry (witness object, or
+    the cached-negative sentinel) is returned so the parent can seed its
+    cache with it verbatim; witnesses are deterministic per seed, so the
+    output is byte-identical to a serial run.
     """
     session = _WORKER_SESSION
     before = session.solver.stats_snapshot()
-    report, error = None, None
+    report, error, witness_entry = None, None, None
     try:
         report = session.grade_canonical(canonical)
+        if _WORKER_WITNESS and not report.all_passed:
+            session.witness_canonical(canonical)
+            witness_entry = session.cache.get(("witness", canonical))
     except ReproError as exc:
         error = (str(exc), type(exc).__name__)
     after = session.solver.stats_snapshot()
-    return report, error, _counter_delta(after, before)
+    return report, error, _counter_delta(after, before), witness_entry
 
 
 def _merge_counters(total, delta):
@@ -140,12 +156,20 @@ def grade_batch(
     max_sites=2,
     optimized=True,
     session=None,
+    witness=False,
 ):
     """Grade ``submissions`` (SQL strings) against one shared ``target``.
 
     ``processes=None`` picks ``min(cpu_count, unique forms)``; ``0`` or
     ``1`` grades serially in-process (same results, no pool).  Pass an
     existing ``session`` to reuse its cache across batches.
+
+    ``witness=True`` attaches an executor-verified counterexample to every
+    wrong result.  Witness construction for the unique forms is sharded
+    over the same worker pool as grading (generation is deterministic per
+    seed, so the output matches a serial run byte for byte); forms already
+    cached by a caller-supplied session fall back to generation in the
+    serve loop.
     """
     start = time.perf_counter()
     if session is None:
@@ -168,12 +192,14 @@ def grade_batch(
             unique[canonical] = None
     # A caller-supplied session may have a smaller cache than this pile
     # has forms; grow it so every form referenced here (seeded now or
-    # already cached) survives until the serve loop.
+    # already cached) survives until the serve loop.  With witnesses each
+    # wrong form occupies a second slot under ("witness", canonical).
     distinct_forms = {
         entry[0] for entry in prepared if not isinstance(entry, GradeError)
     }
     session.cache.maxsize = max(
-        session.cache.maxsize, len(distinct_forms) + 16
+        session.cache.maxsize,
+        (2 if witness else 1) * len(distinct_forms) + 16,
     )
 
     pending = list(unique)
@@ -190,10 +216,13 @@ def grade_batch(
             processes=min(processes, len(pending)),
             initializer=_init_worker,
             initargs=(session.catalog, session.target,
-                      session.max_sites, session.optimized),
+                      session.max_sites, session.optimized,
+                      session.witness_seed, witness),
         ) as pool:
             graded = pool.map(_grade_unique, pending, chunksize=chunksize)
-        for canonical, (report, error, delta) in zip(pending, graded):
+        for canonical, (report, error, delta, witness_entry) in zip(
+            pending, graded
+        ):
             _merge_counters(solver_stats, delta)
             if error is not None:
                 failed[canonical] = error
@@ -201,6 +230,11 @@ def grade_batch(
             session.seed(canonical, report)
             session.pipeline_runs += 1
             session.pipeline_elapsed_total += report.elapsed
+            if witness_entry is not None:
+                # Seed the worker's witness (or cached-negative sentinel)
+                # so the serve loop never regenerates it.
+                session.cache.put(("witness", canonical), witness_entry)
+                session.witness_runs += 1
     else:
         before = session.solver.stats_snapshot()
         for canonical in pending:
@@ -224,7 +258,7 @@ def grade_batch(
             message, kind = failed[canonical]
             results.append(GradeError(sql, message, kind))
             continue
-        results.append(session.grade(sql, _prepared=entry))
+        results.append(session.grade(sql, witness=witness, _prepared=entry))
     return BatchResult(
         results=results,
         elapsed=time.perf_counter() - start,

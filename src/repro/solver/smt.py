@@ -119,6 +119,9 @@ class Solver:
             "literals_minimized": 0,
             "unsat_cores": 0,
             "unsat_core_literals": 0,
+            "chrono_backtracks": 0,
+            "saved_trail_literals": 0,
+            "core_pruned_subtrees": 0,
         }
 
     # ------------------------------------------------------------------
@@ -320,6 +323,9 @@ class Solver:
         # pair gives the count and total size, hence the mean core size.
         stats["unsat_cores"] += sat_stats["assumption_cores"]
         stats["unsat_core_literals"] += sat_stats["core_literals"]
+        # Enumeration-path counters from the chronological engine.
+        stats["chrono_backtracks"] += sat_stats["chrono_backtracks"]
+        stats["saved_trail_literals"] += sat_stats["saved_trail_literals"]
 
     def _theory_ok(self, literals):
         key = frozenset(literals)
@@ -461,20 +467,33 @@ class FeasibilitySession:
         self._atom_vars = atom_vars
         self._order = sorted(self._var_to_atom)
         self._stats_baseline = dict(self._sat.stats)
+        #: After a False ``feasible_prefix`` answer: a tuple of
+        #: ``(atom_index, wanted_bit)`` pairs such that fixing just those
+        #: polarities is already infeasible (empty tuple when the context
+        #: alone is), or None when no core is available.  Callers use it
+        #: to skip whole DFS subtrees a core already refutes.
+        self.last_core = None
 
     def feasible_prefix(self, assignment, length):
         """Is ``atoms[i] == bit i of assignment`` (i < length) consistent?"""
         if self._context_false:
+            self.last_core = ()
             return False
         assumptions = []
+        lit_index = {}
         for i in range(length):
             lit = self._atom_lits[i]
             want = bool(assignment & (1 << i))
             if isinstance(lit, bool):
                 if lit != want:
-                    return False  # the atom is a constant of the other sign
+                    # The atom is a constant of the other sign: that one
+                    # bit is the whole explanation.
+                    self.last_core = ((i, want),)
+                    return False
                 continue
-            assumptions.append(lit if want else -lit)
+            sat_lit = lit if want else -lit
+            assumptions.append(sat_lit)
+            lit_index.setdefault(sat_lit, (i, want))
         solver = self._solver
         sat = self._sat
         var_to_atom = self._var_to_atom
@@ -484,6 +503,16 @@ class FeasibilitySession:
             for _ in range(solver.max_conflicts):
                 model = sat.solve(assumptions)
                 if model is None:
+                    # Read the failed-assumption core off the final
+                    # implication graph and map it back to atom indices:
+                    # every assumption came from the prefix, so the
+                    # lookup is total.
+                    core = sat.unsat_core()
+                    self.last_core = (
+                        tuple(lit_index[a] for a in core)
+                        if core is not None
+                        else None
+                    )
                     return False
                 literals = tuple(
                     (var_to_atom[var], model[var]) for var in self._order

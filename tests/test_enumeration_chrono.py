@@ -1,0 +1,228 @@
+"""Enumeration-path tests for the chronological SAT engine.
+
+Three regression areas for the enumeration rebuild:
+
+* **enumeration equivalence fuzz** -- blocking-clause model enumeration
+  must produce exactly the brute-force model set, never repeat a model,
+  and the one-flip condensation must keep the live blocking set far
+  below the number of enumerated models;
+* **trail-saving invariants** -- add_clause/solve interleavings (with
+  restarts forced on) stay correct, and a pinned scenario exercises the
+  saved-suffix replay (``saved_trail_literals``);
+* **MinFix core-guided pruning** -- the pruned truth-table DFS yields
+  tables and fixes identical to an unpruned run, and the
+  ``core_pruned_subtrees`` counter fires on infeasible atom combinations.
+"""
+
+import itertools
+import random
+
+from repro.core.minfix import (
+    _FeasibilityChecker,
+    build_truth_table,
+    map_atom_preds,
+    min_fix,
+)
+from repro.logic.formulas import Comparison, conj, disj
+from repro.logic.terms import const, intvar
+from repro.solver import Solver
+from repro.solver.sat import SatSolver
+
+A, B, C = (intvar(x) for x in "ABC")
+
+
+def cmp(op, lhs, rhs):
+    return Comparison(op, lhs, rhs)
+
+
+def _brute_models(clauses, num_vars):
+    """Reference: the full model set by exhaustive enumeration."""
+    models = set()
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = {i + 1: bits[i] for i in range(num_vars)}
+        if all(any(model[abs(l)] == (l > 0) for l in c) for c in clauses):
+            models.add(bits)
+    return models
+
+
+def _random_cnf(rng, num_vars, num_clauses):
+    return [
+        [rng.choice([1, -1]) * rng.randint(1, num_vars)
+         for _ in range(rng.randint(1, 3))]
+        for _ in range(num_clauses)
+    ]
+
+
+def _live_permanent_clauses(solver):
+    """Live permanent clauses surviving condensation (masks per key)."""
+    return sum(len(bucket) for bucket in solver._clause_index.values())
+
+
+def _enumerate_models(solver, num_vars):
+    """All models via blocking clauses; returns (models, max_live)."""
+    models = set()
+    max_live = 0
+    while True:
+        model = solver.solve()
+        if model is None:
+            return models, max_live
+        bits = tuple(model[v] for v in range(1, num_vars + 1))
+        assert bits not in models, "enumeration repeated a model"
+        models.add(bits)
+        solver.add_clause(
+            [-v if model[v] else v for v in range(1, num_vars + 1)]
+        )
+        max_live = max(max_live, _live_permanent_clauses(solver))
+
+
+class TestEnumerationEquivalenceFuzz:
+    def test_unconstrained_space_condenses(self):
+        # 2^7 models over an empty clause DB.  Condensation must
+        # telescope sibling blocking clauses, so the live blocking set
+        # stays around num_vars instead of growing with every model.
+        n = 7
+        solver = SatSolver()
+        solver.ensure_vars(n)
+        models, max_live = _enumerate_models(solver, n)
+        assert len(models) == 2 ** n
+        assert max_live <= 2 * n, (
+            f"condensation not engaged: {max_live} live blocking clauses"
+        )
+        assert solver.stats["chrono_backtracks"] > 0
+
+    def test_fuzz_matches_brute_force(self):
+        rng = random.Random(0xE17)
+        condensed = False
+        for _ in range(120):
+            n = rng.randint(3, 8)
+            clauses = _random_cnf(rng, n, rng.randint(1, 2 * n))
+            solver = SatSolver()
+            solver.ensure_vars(n)
+            for clause in clauses:
+                solver.add_clause(clause)
+            baseline = _live_permanent_clauses(solver)
+            models, max_live = _enumerate_models(solver, n)
+            assert models == _brute_models(clauses, n), clauses
+            if len(models) >= 16 and max_live - baseline < len(models) // 2:
+                condensed = True
+        assert condensed, "no fuzz case exercised condensation"
+
+    def test_fuzz_with_restarts_and_reduction_forced(self):
+        # Same equivalence under tiny restart/reduction limits: learned
+        # clauses come and go mid-enumeration, but permanent blocking
+        # clauses (and their condensed resolvents) must keep every
+        # enumerated model excluded.
+        rng = random.Random(0x5EED)
+        for _ in range(40):
+            n = rng.randint(3, 7)
+            clauses = _random_cnf(rng, n, rng.randint(1, 2 * n))
+            solver = SatSolver(restart_base=1, reduce_base=4)
+            solver.ensure_vars(n)
+            for clause in clauses:
+                solver.add_clause(clause)
+            models, _ = _enumerate_models(solver, n)
+            assert models == _brute_models(clauses, n), clauses
+
+
+class TestTrailSavingInvariants:
+    def test_saved_suffix_replay_fires(self):
+        # A clause added against a deep trail becomes unit with shallow
+        # false watches; shrinking the assumption suffix pops its
+        # propagation, but no watch is newly falsified afterwards, so
+        # normal BCP never re-derives it -- only the saved-trail replay
+        # does.  The counter must record that re-propagation.
+        solver = SatSolver()
+        solver.ensure_vars(9)
+        solver.add_clause([7, 8])  # keeps a real decision point in play
+        assert solver.solve([1, 2, 5]) is not None
+        solver.add_clause([-1, -2, 9])  # unit under 1, 2: forces 9
+        model = solver.solve([1, 2, 5])
+        assert model is not None and model[9] is True
+        fired = solver.stats["saved_trail_literals"]
+        model = solver.solve([1, 2, 6])  # pops level 3, replays 9
+        assert model is not None and model[9] is True
+        assert solver.stats["saved_trail_literals"] > fired
+        assert solver.stats["chrono_backtracks"] > 0
+
+    def test_add_clause_solve_interleavings_stay_correct(self):
+        # Replayed literals must never leak into a model that violates a
+        # clause added after the trail was saved.
+        rng = random.Random(0x7A11)
+        for _ in range(80):
+            n = rng.randint(3, 9)
+            solver = SatSolver(restart_base=2, reduce_base=6)
+            solver.ensure_vars(n)
+            accumulated = []
+            counters = dict(solver.stats)
+            for _ in range(rng.randint(3, 7)):
+                for clause in _random_cnf(rng, n, rng.randint(1, 2)):
+                    accumulated.append(clause)
+                    solver.add_clause(clause)
+                picked = rng.sample(range(1, n + 1), rng.randint(0, 3))
+                assumptions = [rng.choice([1, -1]) * v for v in picked]
+                model = solver.solve(assumptions)
+                reference = _brute_models(
+                    accumulated + [[a] for a in assumptions], n
+                )
+                assert (model is None) == (not reference)
+                if model is not None:
+                    for clause in accumulated:
+                        assert any(model[abs(l)] == (l > 0) for l in clause)
+                    for lit in assumptions:
+                        assert model[abs(lit)] == (lit > 0)
+                for key, value in solver.stats.items():
+                    assert value >= counters[key], f"{key} went backwards"
+                counters = dict(solver.stats)
+
+
+class TestMinFixCorePruning:
+    def _contradictory_bounds(self):
+        # a1 = A<5 and a2 = A>10 can never hold together: every DFS
+        # subtree assigning both true is prunable from one unsat core.
+        a1 = cmp("<", A, const(5))
+        a2 = cmp(">", A, const(10))
+        a3 = cmp("=", B, const(1))
+        a4 = cmp("=", C, const(2))
+        lower = conj(a1, a3) | conj(a2, a4)
+        upper = disj(conj(a1, a3), conj(a2, a4), cmp("=", B, C))
+        return lower, upper
+
+    def test_counter_fires_on_infeasible_atoms(self):
+        solver = Solver()
+        lower, upper = self._contradictory_bounds()
+        mapping = map_atom_preds([lower, upper], solver)
+        build_truth_table(mapping, lower, upper, solver)
+        assert solver.stats["core_pruned_subtrees"] > 0
+
+    def test_pruned_table_identical_to_unpruned(self, monkeypatch):
+        lower, upper = self._contradictory_bounds()
+
+        pruned_solver = Solver()
+        mapping = map_atom_preds([lower, upper], pruned_solver)
+        pruned = build_truth_table(mapping, lower, upper, pruned_solver)
+        assert pruned_solver.stats["core_pruned_subtrees"] > 0
+
+        # Disable core recording: the checker then answers every prefix
+        # with a real feasibility call, as before the optimisation.
+        monkeypatch.setattr(
+            _FeasibilityChecker, "_add_core", lambda self, mask, bits: None
+        )
+        plain_solver = Solver()
+        mapping2 = map_atom_preds([lower, upper], plain_solver)
+        plain = build_truth_table(mapping2, lower, upper, plain_solver)
+        assert plain_solver.stats["core_pruned_subtrees"] == 0
+
+        assert mapping.num_vars == mapping2.num_vars
+        for row in range(1 << mapping.num_vars):
+            assert pruned.output(row) == plain.output(row), row
+
+    def test_min_fix_unchanged_by_pruning(self, monkeypatch):
+        lower, upper = self._contradictory_bounds()
+        with_cores = min_fix(lower, upper, Solver())
+        monkeypatch.setattr(
+            _FeasibilityChecker, "_add_core", lambda self, mask, bits: None
+        )
+        without_cores = min_fix(lower, upper, Solver())
+        assert with_cores == without_cores
+        checker = Solver()
+        assert checker.in_bound(lower, with_cores, upper)

@@ -640,6 +640,118 @@ class TestCacheDiskSpill:
         assert result.cached and cold.pipeline_runs == 0
 
 
+class TestWitnessFanout:
+    """Witness construction sharded over the batch worker pool."""
+
+    @pytest.fixture(scope="class")
+    def question(self):
+        return next(q for q in dblp.QUESTIONS if q.qid == "Q4")
+
+    @pytest.fixture(scope="class")
+    def pool(self, question):
+        return userstudy.submission_pool(question, count=24, seed=3)
+
+    def test_parallel_witnesses_match_serial(
+        self, dblp_catalog, question, pool
+    ):
+        # Witnesses are deterministic per seed, so the sharded run must
+        # reproduce the serial one exactly.  (`Witness.elapsed` is
+        # compare=False, so == already ignores wall-clock noise.)
+        serial = grade_batch(
+            dblp_catalog, question.correct_sql, pool,
+            processes=1, witness=True,
+        )
+        parallel = grade_batch(
+            dblp_catalog, question.correct_sql, pool,
+            processes=2, witness=True,
+        )
+        assert [r.text() for r in serial.results] == [
+            r.text() for r in parallel.results
+        ]
+        witnessed = 0
+        for left, right in zip(serial.results, parallel.results):
+            assert left.witness == right.witness
+            if left.witness is not None:
+                witnessed += 1
+        assert witnessed > 0, "pool produced no witnessed failures"
+
+    def test_parallel_run_seeds_parent_witness_cache(
+        self, dblp_catalog, question, pool
+    ):
+        # The serve loop must be fed from worker-built witness entries,
+        # not regenerate them: every wrong form's witness slot is already
+        # in the parent cache when grade_batch returns.
+        session = AssignmentSession(
+            dblp_catalog, question.correct_sql, cache_size=256
+        )
+        batch = grade_batch(
+            dblp_catalog, question.correct_sql, pool,
+            processes=2, witness=True, session=session,
+        )
+        for result in batch.results:
+            if isinstance(result, GradeError) or result.all_passed:
+                continue
+            canonical, _ = session.prepare(result.submission_sql)
+            assert ("witness", canonical) in session.cache
+
+
+class TestCacheSpiller:
+    def _loaded_keys(self, path):
+        return ArtifactCache(maxsize=64).load(path)
+
+    def test_rejects_nonpositive_interval(self, tmp_path, beers_catalog):
+        from repro.service.server import CacheSpiller
+
+        session = AssignmentSession(beers_catalog, TARGET)
+        with pytest.raises(ValueError):
+            CacheSpiller(session.cache, str(tmp_path / "c.json"), 0)
+
+    def test_spill_skips_clean_writes_dirty(self, tmp_path, beers_catalog):
+        from repro.service.server import CacheSpiller
+
+        session = AssignmentSession(beers_catalog, TARGET)
+        path = tmp_path / "cache.json"
+        spiller = CacheSpiller(session.cache, str(path), interval=3600)
+        # Clean cache: nothing written, file untouched.
+        assert spiller.spill() == 0
+        assert not path.exists()
+        session.grade(WRONG)
+        written = spiller.spill()
+        assert written >= 1 and spiller.spills == 1
+        assert self._loaded_keys(str(path)) == written
+        # Unchanged since the last spill: skipped again.
+        assert spiller.spill() == 0 and spiller.spills == 1
+        # A fresh mutation re-arms it.
+        session.grade(TARGET)
+        assert spiller.spill() > 0 and spiller.spills == 2
+
+    def test_background_thread_spills_and_stops(
+        self, tmp_path, beers_catalog
+    ):
+        import time
+
+        from repro.service.server import CacheSpiller
+
+        session = AssignmentSession(beers_catalog, TARGET)
+        path = tmp_path / "cache.json"
+        spiller = CacheSpiller(session.cache, str(path), interval=0.05)
+        spiller.start()
+        try:
+            session.grade(WRONG)  # dirty the cache after the thread is up
+            deadline = time.time() + 5
+            while spiller.spills == 0 and time.time() < deadline:
+                time.sleep(0.02)
+        finally:
+            spiller.stop()
+        assert spiller.spills >= 1
+        assert self._loaded_keys(str(path)) >= 1
+        # After stop, no further spills happen even if the cache moves.
+        spills = spiller.spills
+        session.grade(TARGET)
+        time.sleep(0.15)
+        assert spiller.spills == spills
+
+
 class TestWitnessText:
     def test_default_rendering_unchanged(self, beers_catalog):
         session = AssignmentSession(beers_catalog, TARGET)
