@@ -110,6 +110,13 @@ def build_parser():
         "query returns X; the reference returns Y\")",
     )
     hint.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans for the whole run and print the indented span "
+        "tree (pipeline stages, solver solves, theory rounds, witness "
+        "generation) after the hints",
+    )
+    hint.add_argument(
         "--solver-stats",
         action="store_true",
         help="print SAT/SMT solver counters (calls, cache hit-rate, learned "
@@ -231,6 +238,11 @@ def build_parser():
         "--json", dest="json_out", help="write evaluation metrics JSON here"
     )
     corpus.add_argument(
+        "--trace-jsonl", metavar="PATH",
+        help="export one span tree per unique graded form as JSON lines "
+        "(captured in the batch workers and re-parented)",
+    )
+    corpus.add_argument(
         "--list-schemas", action="store_true",
         help="list the bundled schema sources and exit",
     )
@@ -262,6 +274,11 @@ def build_parser():
         "loses at most one interval of artifacts (0 disables; requires "
         "--cache-file)",
     )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="N",
+        help="trace every request and log those slower than N ms to "
+        "stderr together with their span tree",
+    )
     serve.add_argument("--quiet", action="store_true", help="suppress access log")
     serve.set_defaults(func=cmd_serve)
 
@@ -286,7 +303,12 @@ def _print_solver_stats(solver):
 
 
 def cmd_hint(args):
+    from contextlib import nullcontext
+
+    from repro.obs import TRACER
+
     solver = Solver()
+    trace_cm = TRACER.trace("hint") if args.trace else nullcontext()
     try:
         catalog = load_catalog(args.schema)
         target = parse_query_extended(
@@ -295,27 +317,27 @@ def cmd_hint(args):
         working = parse_query_extended(
             _read_sql(args, "working", "working_sql", "working"), catalog
         )
-        report = QrHint(
-            catalog,
-            target,
-            working,
-            max_sites=args.max_sites,
-            optimized=not args.no_optimized,
-            solver=solver,
-        ).run()
+        with trace_cm as trace_handle:
+            report = QrHint(
+                catalog,
+                target,
+                working,
+                max_sites=args.max_sites,
+                optimized=not args.no_optimized,
+                solver=solver,
+            ).run()
+            witness = None
+            if args.witness_text and not report.all_passed:
+                from repro.witness import generate_witness
+
+                witness = generate_witness(
+                    catalog, target, working, solver=solver, seed=0
+                )
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
 
     from repro.service.session import format_report
-
-    witness = None
-    if args.witness_text and not report.all_passed:
-        from repro.witness import generate_witness
-
-        witness = generate_witness(
-            catalog, target, working, solver=solver, seed=0
-        )
 
     code = EXIT_OK
     print(
@@ -333,6 +355,12 @@ def cmd_hint(args):
         print(f"Differential verification: {'PASS' if ok else 'FAIL'}")
         if not ok:
             code = EXIT_VERIFY_FAILED
+    if args.trace:
+        print()
+        print(f"Trace ({trace_handle.trace_id}, "
+              f"{trace_handle.duration_ms:.1f}ms):")
+        for line in trace_handle.render():
+            print(f"  {line}")
     # Stats are printed in exactly one place, whatever the exit path.
     if args.solver_stats:
         _print_solver_stats(solver)
@@ -538,6 +566,7 @@ def cmd_corpus(args):
         max_sites=args.max_sites,
         witness=args.witness,
         witness_limit=args.witness_limit,
+        trace_jsonl=args.trace_jsonl,
     )
     print(
         f"Graded {result.graded}/{result.total} "
@@ -556,6 +585,8 @@ def cmd_corpus(args):
             f"({result.witness_found}/{result.witness_attempted} attempted, "
             f"{result.witness_elapsed:.1f}s)"
         )
+    if args.trace_jsonl:
+        print(f"wrote {args.trace_jsonl}")
     if args.json_out:
         with open(args.json_out, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2)
@@ -615,7 +646,7 @@ def cmd_serve(args):
             session.cache, args.cache_file, args.cache_spill_interval
         )
     code = serve(args.host, args.port, service, quiet=args.quiet,
-                 spiller=spiller)
+                 spiller=spiller, slow_ms=args.slow_ms)
     if args.cache_file and session is not None:
         count = session.cache.save(args.cache_file)
         print(f"saved {count} cached artifact(s) to {args.cache_file}")

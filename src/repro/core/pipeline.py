@@ -29,6 +29,7 @@ from repro.core.table_mapping import unify_target
 from repro.core.where_repair import repair_where
 from repro.errors import RepairError
 from repro.logic.substitute import substitute
+from repro.obs import REGISTRY, TRACER
 from repro.query import ResolvedQuery
 from repro.solver import Solver
 from repro.solver.aggregates import agg_scalar_var
@@ -36,6 +37,12 @@ from repro.sqlparser import parse_query
 
 STAGES_SPJ = ("FROM", "WHERE", "SELECT")
 STAGES_SPJA = ("FROM", "WHERE", "GROUP BY", "HAVING", "SELECT")
+
+_STAGE_SECONDS = REGISTRY.histogram(
+    "repro_stage_seconds",
+    "Pipeline stage wall time per run.",
+    ("stage",),
+)
 
 
 @dataclass
@@ -116,17 +123,25 @@ class QrHint:
 
     def run(self):
         """Run all stages, auto-applying each repair (Theorem 3.1 walk)."""
+        with TRACER.span("pipeline.run") as span:
+            report = self._run()
+            span.set(all_passed=report.all_passed)
+            return report
+
+    def _run(self):
         start = time.perf_counter()
         stages = []
         working = self.working
 
         # ---- FROM ----
         stage_start = time.perf_counter()
-        delta = check_from(self.target, working)
-        result = StageResult("FROM", passed=delta.viable)
-        if not delta.viable:
-            result.hints = hint_templates.from_stage_hints(delta)
-            working = apply_from_fix(working, self.target, delta)
+        with TRACER.span("stage.FROM") as span:
+            delta = check_from(self.target, working)
+            result = StageResult("FROM", passed=delta.viable)
+            if not delta.viable:
+                result.hints = hint_templates.from_stage_hints(delta)
+                working = apply_from_fix(working, self.target, delta)
+            span.set(passed=result.passed)
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
@@ -147,26 +162,28 @@ class QrHint:
 
         # ---- WHERE ----
         stage_start = time.perf_counter()
-        result = StageResult("WHERE", passed=True)
-        if not self.solver.is_equiv(working.where, target.where):
-            result.passed = False
-            repair_result = repair_where(
-                working.where,
-                target.where,
-                max_sites=self.max_sites,
-                optimized=self.optimized,
-                solver=self.solver,
-                weight=self.weight,
-            )
-            if not repair_result.found:
-                raise RepairError("WHERE stage found no viable repair")
-            result.hints = hint_templates.predicate_repair_hints(
-                "WHERE", repair_result.repair, working.where
-            )
-            result.repair_cost = repair_result.cost
-            working = replace(
-                working, where=repair_result.repair.apply(working.where)
-            )
+        with TRACER.span("stage.WHERE") as span:
+            result = StageResult("WHERE", passed=True)
+            if not self.solver.is_equiv(working.where, target.where):
+                result.passed = False
+                repair_result = repair_where(
+                    working.where,
+                    target.where,
+                    max_sites=self.max_sites,
+                    optimized=self.optimized,
+                    solver=self.solver,
+                    weight=self.weight,
+                )
+                if not repair_result.found:
+                    raise RepairError("WHERE stage found no viable repair")
+                result.hints = hint_templates.predicate_repair_hints(
+                    "WHERE", repair_result.repair, working.where
+                )
+                result.repair_cost = repair_result.cost
+                working = replace(
+                    working, where=repair_result.repair.apply(working.where)
+                )
+            span.set(passed=result.passed)
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
@@ -174,92 +191,111 @@ class QrHint:
         if spja:
             # ---- GROUP BY ----
             stage_start = time.perf_counter()
-            delta = fix_grouping(
-                target.where, working.group_by, target.group_by, self.solver
-            )
-            result = StageResult("GROUP BY", passed=delta.viable)
-            if not delta.viable:
-                result.hints = hint_templates.grouping_hints(
-                    delta, working.group_by
+            with TRACER.span("stage.GROUP BY") as span:
+                delta = fix_grouping(
+                    target.where, working.group_by, target.group_by,
+                    self.solver
                 )
-                working = replace(
-                    working,
-                    group_by=apply_grouping_fix(
-                        working.group_by, target.group_by, delta
-                    ),
-                )
+                result = StageResult("GROUP BY", passed=delta.viable)
+                if not delta.viable:
+                    result.hints = hint_templates.grouping_hints(
+                        delta, working.group_by
+                    )
+                    working = replace(
+                        working,
+                        group_by=apply_grouping_fix(
+                            working.group_by, target.group_by, delta
+                        ),
+                    )
+                span.set(passed=result.passed)
             result.elapsed = time.perf_counter() - stage_start
             result.query_after = working
             stages.append(result)
 
             # ---- HAVING ----
             stage_start = time.perf_counter()
-            analysis = analyze_having(
-                target.where,
-                working.group_by,
-                target.group_by,
-                working.having,
-                target.having,
-            )
-            passed = having_equivalent(analysis, self.solver)
-            result = StageResult("HAVING", passed=passed)
-            if not passed:
-                repair_result = repair_having(
-                    analysis,
-                    max_sites=self.max_sites,
-                    optimized=self.optimized,
-                    solver=self.solver,
+            with TRACER.span("stage.HAVING") as span:
+                analysis = analyze_having(
+                    target.where,
+                    working.group_by,
+                    target.group_by,
+                    working.having,
+                    target.having,
                 )
-                if not repair_result.found:
-                    raise RepairError("HAVING stage found no viable repair")
-                result.hints = hint_templates.predicate_repair_hints(
-                    "HAVING", repair_result.repair, analysis.working_scalar
-                )
-                result.repair_cost = repair_result.cost
-                fixed_scalar = repair_result.repair.apply(analysis.working_scalar)
-                working = replace(
-                    working, having=analysis.descalarize(fixed_scalar)
-                )
+                passed = having_equivalent(analysis, self.solver)
+                result = StageResult("HAVING", passed=passed)
+                if not passed:
+                    repair_result = repair_having(
+                        analysis,
+                        max_sites=self.max_sites,
+                        optimized=self.optimized,
+                        solver=self.solver,
+                    )
+                    if not repair_result.found:
+                        raise RepairError(
+                            "HAVING stage found no viable repair"
+                        )
+                    result.hints = hint_templates.predicate_repair_hints(
+                        "HAVING", repair_result.repair,
+                        analysis.working_scalar
+                    )
+                    result.repair_cost = repair_result.cost
+                    fixed_scalar = repair_result.repair.apply(
+                        analysis.working_scalar
+                    )
+                    working = replace(
+                        working, having=analysis.descalarize(fixed_scalar)
+                    )
+                span.set(passed=result.passed)
             result.elapsed = time.perf_counter() - stage_start
             result.query_after = working
             stages.append(result)
 
         # ---- SELECT ----
         stage_start = time.perf_counter()
-        if spja:
-            analysis = analyze_having(
-                target.where,
-                working.group_by,
-                target.group_by,
-                working.having,
-                target.having,
-            )
-            context = analysis.context + (analysis.target_scalar,)
-        else:
-            context = (target.where,)
-        delta = fix_select(working.select, target.select, context, self.solver)
-        passed = delta.viable and working.distinct == target.distinct
-        result = StageResult("SELECT", passed=passed)
-        if not delta.viable:
-            result.hints.extend(
-                hint_templates.select_hints(
-                    delta, working.select, len(target.select)
+        with TRACER.span("stage.SELECT") as span:
+            if spja:
+                analysis = analyze_having(
+                    target.where,
+                    working.group_by,
+                    target.group_by,
+                    working.having,
+                    target.having,
                 )
+                context = analysis.context + (analysis.target_scalar,)
+            else:
+                context = (target.where,)
+            delta = fix_select(
+                working.select, target.select, context, self.solver
             )
-            working = replace(
-                working,
-                select=apply_select_fix(working.select, target.select, delta),
-                select_aliases=(),
-            )
-        if working.distinct != target.distinct:
-            result.hints.append(hint_templates.distinct_hint(working.distinct))
-            working = replace(working, distinct=target.distinct)
+            passed = delta.viable and working.distinct == target.distinct
+            result = StageResult("SELECT", passed=passed)
+            if not delta.viable:
+                result.hints.extend(
+                    hint_templates.select_hints(
+                        delta, working.select, len(target.select)
+                    )
+                )
+                working = replace(
+                    working,
+                    select=apply_select_fix(
+                        working.select, target.select, delta
+                    ),
+                    select_aliases=(),
+                )
+            if working.distinct != target.distinct:
+                result.hints.append(
+                    hint_templates.distinct_hint(working.distinct)
+                )
+                working = replace(working, distinct=target.distinct)
+            span.set(passed=result.passed)
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
 
         for result in stages:
             result.hints = tuple(result.hints)
+            _STAGE_SECONDS.observe(result.elapsed, stage=result.stage)
         return Report(
             stages=tuple(stages),
             final_query=working,

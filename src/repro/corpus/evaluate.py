@@ -21,11 +21,21 @@ and folds the per-entry outcomes into corpus-level metrics:
   compared against the mutated stages (mean recall + exact-match rate);
 * **witness coverage** -- optionally, counterexample generation over a
   deterministic subsample of the flagged entries;
-* **throughput** -- graded entries per second of batch-grading time.
+* **throughput** -- graded entries per second of batch-grading time;
+* **repair-cost attribution** -- per mutation kind, the mean and p95
+  pipeline time of the entries carrying that kind (``grade_ms_mean`` /
+  ``grade_ms_p95`` in ``by_kind``), so expensive-to-grade mutation
+  classes are visible in the report and in ``BENCH_corpus.json``.
+
+With ``trace_jsonl=PATH`` the batch grader also captures one span tree
+per unique graded form (serialized in the workers, re-parented in the
+parent) and writes them as JSON lines.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -114,6 +124,13 @@ def _hinted_stages(result):
     return {stage for stage, passed, _ in result.stage_hints if not passed}
 
 
+def _p95(values):
+    """The 95th-percentile value (nearest-rank) of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(0.95 * len(ordered)))
+    return ordered[rank - 1]
+
+
 def evaluate_corpus(
     entries,
     *,
@@ -123,6 +140,7 @@ def evaluate_corpus(
     witness=False,
     witness_limit=40,
     witness_seed=0,
+    trace_jsonl=None,
 ):
     """Grade every corpus entry and aggregate a :class:`CorpusEvalResult`.
 
@@ -130,7 +148,9 @@ def evaluate_corpus(
     .CorpusEntry`.  ``processes`` is forwarded to :func:`grade_batch`
     per ``(schema, target)`` group (``0``/``1`` grades serially).  With
     ``witness=True`` the first ``witness_limit`` flagged entries (in
-    corpus order) also get a counterexample-generation attempt.
+    corpus order) also get a counterexample-generation attempt.  With
+    ``trace_jsonl`` set, one span tree per unique graded form is written
+    to that path as JSON lines (``{"schema", "target_sql", "trace"}``).
     """
     entries = list(entries)
     sources = {s.name: s for s in bundled_sources(schemas)}
@@ -141,6 +161,7 @@ def evaluate_corpus(
         groups.setdefault((entry.schema, entry.target_sql), []).append(entry)
 
     outcomes = []
+    trace_records = []
     for (schema, target_sql), group in groups.items():
         catalog = sources[schema].catalog()
         start = time.perf_counter()
@@ -153,11 +174,22 @@ def evaluate_corpus(
             [e.wrong_sql for e in group],
             processes=group_processes,
             max_sites=max_sites,
+            trace=trace_jsonl is not None,
         )
         result.grade_elapsed += time.perf_counter() - start
         result.processes = max(result.processes, batch.processes)
         outcomes.extend(zip(group, batch.results))
+        for trace in batch.traces:
+            trace_records.append(
+                {"schema": schema, "target_sql": target_sql, "trace": trace}
+            )
 
+    if trace_jsonl is not None:
+        with open(trace_jsonl, "w") as handle:
+            for record in trace_records:
+                handle.write(json.dumps(record) + "\n")
+
+    kind_elapsed = {}  # mutation kind -> pipeline seconds of its entries
     for entry, outcome in outcomes:
         schema_stats = result.by_schema.setdefault(
             entry.schema, {"total": 0, "graded": 0, "flagged": 0}
@@ -173,6 +205,10 @@ def evaluate_corpus(
             continue
         result.graded += 1
         schema_stats["graded"] += 1
+        for record in entry.mutations:
+            kind_elapsed.setdefault(record.kind, []).append(
+                outcome.pipeline_elapsed
+            )
         if outcome.all_passed:
             result.benign += 1
             for record in entry.mutations:
@@ -188,6 +224,19 @@ def evaluate_corpus(
             result.stage_recall_sum += len(truth & hinted) / len(truth)
         if truth == hinted:
             result.stage_exact += 1
+
+    # Repair-cost attribution: latency of the pipeline runs carrying each
+    # mutation kind (multi-mutation entries count toward every kind).
+    for kind, stats in result.by_kind.items():
+        elapsed = kind_elapsed.get(kind)
+        if elapsed:
+            stats["grade_ms_mean"] = round(
+                sum(elapsed) / len(elapsed) * 1000.0, 3
+            )
+            stats["grade_ms_p95"] = round(_p95(elapsed) * 1000.0, 3)
+        else:
+            stats["grade_ms_mean"] = 0.0
+            stats["grade_ms_p95"] = 0.0
 
     if witness:
         _measure_witness_coverage(

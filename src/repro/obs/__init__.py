@@ -1,0 +1,50 @@
+"""Observability: span tracing, a metrics registry, and exposition.
+
+Three pieces (see ``docs/observability.md``):
+
+* :data:`TRACER` -- the process-wide span tracer.  Disabled by default;
+  ``TRACER.span(...)`` then returns a shared no-op span, and hot paths
+  guard with ``TRACER.enabled``.  A trace is opened per request/CLI run
+  with ``with TRACER.trace("grade") as handle:``.
+* :data:`REGISTRY` -- the process-wide :class:`MetricsRegistry` holding
+  service-level counters/gauges/histograms; snapshots are JSON-safe and
+  mergeable (batch workers ship deltas back via :func:`snapshot_delta`).
+* :mod:`repro.obs.export` -- Prometheus text rendering of scrape-time
+  families (the existing solver/session/cache counters, re-homed without
+  renaming their public keys) and a text-format validator.
+"""
+
+from repro.obs.export import parse_prometheus_text, service_metric_families
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_TIME_BUCKETS,
+    log_buckets,
+    render_families,
+    snapshot_delta,
+)
+from repro.obs.trace import TRACER, Span, Trace, TraceHandle, Tracer
+
+#: The process-wide registry all service-level metrics register into.
+REGISTRY = MetricsRegistry()
+
+__all__ = [
+    "TRACER",
+    "REGISTRY",
+    "Tracer",
+    "Trace",
+    "TraceHandle",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+    "log_buckets",
+    "render_families",
+    "snapshot_delta",
+    "parse_prometheus_text",
+    "service_metric_families",
+]

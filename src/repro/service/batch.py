@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.obs import REGISTRY, TRACER, snapshot_delta
 from repro.service.session import AssignmentSession, _counter_delta
 
 
@@ -39,26 +40,34 @@ class GradeError:
 # Worker-process state, created once per worker by ``_init_worker``.
 _WORKER_SESSION = None
 _WORKER_WITNESS = False
+_WORKER_TRACE = False
 
 
 def _init_worker(catalog, target, max_sites, optimized,
-                 witness_seed=0, witness=False):
-    global _WORKER_SESSION, _WORKER_WITNESS
+                 witness_seed=0, witness=False, trace=False):
+    global _WORKER_SESSION, _WORKER_WITNESS, _WORKER_TRACE
     _WORKER_SESSION = AssignmentSession(
         catalog, target, max_sites=max_sites, optimized=optimized,
         witness_seed=witness_seed,
     )
     _WORKER_WITNESS = witness
+    _WORKER_TRACE = trace
 
 
 def _grade_unique(canonical):
     """Grade one canonical query in a worker.
 
     Returns ``(report_or_None, error_or_None, solver_delta,
-    witness_cache_entry_or_None)``.  Pipeline failures (e.g.
-    ``RepairError`` when no viable repair exists under the site cap) are
-    captured per-submission, never raised: one unrepairable query must
-    not abort the rest of the pile.
+    witness_cache_entry_or_None, metrics_delta, trace_dict_or_None)``.
+    Pipeline failures (e.g. ``RepairError`` when no viable repair exists
+    under the site cap) are captured per-submission, never raised: one
+    unrepairable query must not abort the rest of the pile.
+
+    The worker's registry metrics (stage/grade histograms) are shipped
+    back as a :func:`snapshot_delta` for the parent to merge, and with
+    ``trace=True`` the whole run is captured as a serialized span tree
+    for the parent to re-parent -- the same delta-merge discipline as the
+    solver counter snapshot.
 
     When the pool was initialized with ``witness=True``, a wrong report's
     counterexample is generated here too -- the expensive half of witness
@@ -70,16 +79,37 @@ def _grade_unique(canonical):
     """
     session = _WORKER_SESSION
     before = session.solver.stats_snapshot()
-    report, error, witness_entry = None, None, None
+    metrics_before = REGISTRY.snapshot()
+    report, error, witness_entry, trace_dict = None, None, None, None
+    handle = (
+        TRACER.trace("grade", sql=canonical.to_sql())
+        if _WORKER_TRACE
+        else None
+    )
     try:
-        report = session.grade_canonical(canonical)
-        if _WORKER_WITNESS and not report.all_passed:
-            session.witness_canonical(canonical)
-            witness_entry = session.cache.get(("witness", canonical))
+        if handle is not None:
+            handle.__enter__()
+        try:
+            report = session.grade_canonical(canonical)
+            if _WORKER_WITNESS and not report.all_passed:
+                session.witness_canonical(canonical)
+                witness_entry = session.cache.get(("witness", canonical))
+        finally:
+            if handle is not None:
+                handle.__exit__(None, None, None)
+                trace_dict = handle.to_dict()
     except ReproError as exc:
         error = (str(exc), type(exc).__name__)
     after = session.solver.stats_snapshot()
-    return report, error, _counter_delta(after, before), witness_entry
+    metrics_delta = snapshot_delta(metrics_before, REGISTRY.snapshot())
+    return (
+        report,
+        error,
+        _counter_delta(after, before),
+        witness_entry,
+        metrics_delta,
+        trace_dict,
+    )
 
 
 def _merge_counters(total, delta):
@@ -99,6 +129,10 @@ class BatchResult:
     unique_failed: int = 0  # canonical forms whose pipeline run failed
     solver_stats: dict = field(default_factory=dict)
     cache_stats: dict = field(default_factory=dict)
+    #: With ``trace=True``: one serialized span tree (the
+    #: :meth:`TraceHandle.to_dict` shape) per successfully graded unique
+    #: canonical form.
+    traces: list = field(default_factory=list)
 
     @property
     def submissions(self):
@@ -157,12 +191,17 @@ def grade_batch(
     optimized=True,
     session=None,
     witness=False,
+    trace=False,
 ):
     """Grade ``submissions`` (SQL strings) against one shared ``target``.
 
     ``processes=None`` picks ``min(cpu_count, unique forms)``; ``0`` or
     ``1`` grades serially in-process (same results, no pool).  Pass an
     existing ``session`` to reuse its cache across batches.
+
+    ``trace=True`` captures one span tree per graded unique form on
+    ``BatchResult.traces`` -- serialized in the worker processes and
+    re-parented into the parent's active trace (when one is open).
 
     ``witness=True`` attaches an executor-verified counterexample to every
     wrong result.  Witness construction for the unique forms is sharded
@@ -207,6 +246,7 @@ def grade_batch(
         processes = min(os.cpu_count() or 1, max(1, len(pending)))
     solver_stats = {}
     failed = {}  # canonical form -> (message, kind) for unrepairable piles
+    traces = []
 
     # Back half: grade unique forms, sharded across workers when it pays.
     if processes > 1 and len(pending) > 1:
@@ -217,13 +257,19 @@ def grade_batch(
             initializer=_init_worker,
             initargs=(session.catalog, session.target,
                       session.max_sites, session.optimized,
-                      session.witness_seed, witness),
+                      session.witness_seed, witness, trace),
         ) as pool:
             graded = pool.map(_grade_unique, pending, chunksize=chunksize)
-        for canonical, (report, error, delta, witness_entry) in zip(
-            pending, graded
-        ):
+        for canonical, (
+            report, error, delta, witness_entry, metrics_delta, trace_dict
+        ) in zip(pending, graded):
             _merge_counters(solver_stats, delta)
+            REGISTRY.merge(metrics_delta)
+            if trace_dict is not None:
+                traces.append(trace_dict)
+                # Graft the worker's spans into the parent's trace, when
+                # one is open (e.g. corpus eval under --trace-jsonl).
+                TRACER.adopt(trace_dict)
             if error is not None:
                 failed[canonical] = error
                 continue
@@ -238,8 +284,21 @@ def grade_batch(
     else:
         before = session.solver.stats_snapshot()
         for canonical in pending:
+            handle = (
+                TRACER.trace("grade", sql=canonical.to_sql())
+                if trace
+                else None
+            )
             try:
-                session.seed(canonical, session.grade_canonical(canonical))
+                if handle is not None:
+                    handle.__enter__()
+                try:
+                    report = session.grade_canonical(canonical)
+                finally:
+                    if handle is not None:
+                        handle.__exit__(None, None, None)
+                        traces.append(handle.to_dict())
+                session.seed(canonical, report)
             except ReproError as exc:
                 failed[canonical] = (str(exc), type(exc).__name__)
         _merge_counters(
@@ -267,4 +326,5 @@ def grade_batch(
         unique_failed=len(failed),
         solver_stats=solver_stats,
         cache_stats=session.cache.stats(),
+        traces=traces,
     )

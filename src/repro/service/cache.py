@@ -26,6 +26,7 @@ from dataclasses import replace
 from repro.logic.formulas import And, BoolConst, Comparison, Not, Or
 from repro.logic.substitute import substitute_term
 from repro.logic.terms import Term, Var
+from repro.obs import TRACER
 from repro.query import FromEntry
 
 #: Prefix for canonical alias names.  Deliberately not a legal student
@@ -122,13 +123,16 @@ class ArtifactCache:
 
     def get(self, key):
         """Return the cached artifact or None, updating LRU order."""
-        with self._lock:
-            if key not in self._entries:
-                self.misses += 1
-                return None
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
+        with TRACER.span("cache.get") as span:
+            with self._lock:
+                if key not in self._entries:
+                    self.misses += 1
+                    span.set(hit=False)
+                    return None
+                self.hits += 1
+                self._entries.move_to_end(key)
+                span.set(hit=True)
+                return self._entries[key]
 
     def put(self, key, artifact):
         with self._lock:

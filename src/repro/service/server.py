@@ -13,7 +13,19 @@ exposes it over three routes served by a ``ThreadingHTTPServer``:
   counterexample instance to wrong submissions).
 * ``POST /witness`` -- just the counterexample; body
   ``{"assignment_id": "a1", "sql": "..."}``.
-* ``GET /stats`` -- per-assignment cache/solver statistics.
+* ``GET /stats`` -- per-assignment cache/solver statistics plus
+  process-level HTTP request/latency statistics.
+* ``GET /metrics`` -- Prometheus text exposition (request counters and
+  latency histograms, grade/stage histograms, per-assignment solver and
+  cache counters).
+
+Observability: every response increments ``repro_http_requests_total``
+(and ``repro_http_errors_total`` for 4xx/5xx) and observes
+``repro_http_request_seconds``, labeled by route (unknown paths collapse
+into ``other`` to bound label cardinality).  A grade request carrying
+``"trace": true`` returns its span tree in the response; starting the
+server with ``slow_ms`` set wraps *every* request in a trace and logs the
+rendered tree to stderr when handling exceeds the threshold.
 
 Request hardening: bodies above ``MAX_BODY_BYTES`` are rejected with 413,
 and POST requests whose ``Content-Length`` is absent or malformed get a
@@ -30,15 +42,41 @@ from __future__ import annotations
 
 import itertools
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.catalog import Catalog
 from repro.errors import ReproError
+from repro.obs import REGISTRY, TRACER
+from repro.obs.export import service_metric_families
+from repro.obs.metrics import render_families
 from repro.service.session import AssignmentSession
 
 MAX_BODY_BYTES = 1_048_576
+
+#: Routes used as metric label values; anything else is labeled "other"
+#: so arbitrary request paths cannot blow up label cardinality.
+KNOWN_ROUTES = frozenset(
+    {"/assignments", "/grade", "/witness", "/stats", "/healthz", "/metrics"}
+)
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route and status.",
+    ("route", "status"),
+)
+_HTTP_ERRORS = REGISTRY.counter(
+    "repro_http_errors_total",
+    "HTTP error responses (status >= 400), by route and status.",
+    ("route", "status"),
+)
+_HTTP_LATENCY = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling wall time, by route.",
+    ("route",),
+)
 
 
 class ServiceError(Exception):
@@ -102,6 +140,40 @@ class HintService:
         }
 
 
+def http_stats():
+    """Process-level HTTP request/latency statistics (``GET /stats``).
+
+    Derived from the global registry's request counters and latency
+    histograms, so counts span every server in the process; quantiles are
+    bucket upper bounds (see :class:`repro.obs.Histogram`).
+    """
+    requests = {}
+    for labels, value in _HTTP_REQUESTS.items():
+        requests.setdefault(labels["route"], {})[labels["status"]] = value
+    errors = {}
+    for labels, value in _HTTP_ERRORS.items():
+        errors[labels["route"]] = errors.get(labels["route"], 0) + value
+    latency = {}
+    for labels, value in _HTTP_LATENCY.items():
+        route = labels["route"]
+        latency[route] = {
+            "count": value["count"],
+            "mean_ms": round(
+                value["sum"] / value["count"] * 1000.0, 3
+            ) if value["count"] else 0.0,
+            "p50_ms": round(
+                _HTTP_LATENCY.quantile(0.5, route=route) * 1000.0, 3
+            ),
+            "p95_ms": round(
+                _HTTP_LATENCY.quantile(0.95, route=route) * 1000.0, 3
+            ),
+            "p99_ms": round(
+                _HTTP_LATENCY.quantile(0.99, route=route) * 1000.0, 3
+            ),
+        }
+    return {"requests": requests, "errors": errors, "latency": latency}
+
+
 class CacheSpiller:
     """Periodic background spill of an :class:`ArtifactCache` to disk.
 
@@ -140,10 +212,21 @@ class CacheSpiller:
         return self
 
     def stop(self):
-        """Signal the loop and wait for an in-flight spill to finish."""
+        """Signal the loop, join it, then flush one final spill.
+
+        Without the final flush, mutations landing after the last timer
+        tick were lost on a clean shutdown -- and shutdown raced the
+        background thread's in-flight spill against the server teardown.
+        Joining first guarantees no concurrent writer; the flush itself
+        is a no-op when the cache is clean (change-marker skip).
+        """
         self._stop.set()
         if self._thread.is_alive():
             self._thread.join(timeout=self.interval + 30)
+        try:
+            self.spill()
+        except OSError:  # pragma: no cover - disk trouble at shutdown
+            pass
 
     def _run(self):
         while not self._stop.wait(self.interval):
@@ -177,11 +260,22 @@ class HintRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status, payload):
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_body(self, status, body, content_type):
+        """Single response exit point: writes the body, records metrics."""
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        route = getattr(self, "_route", "other")
+        _HTTP_REQUESTS.inc(route=route, status=str(status))
+        if status >= 400:
+            _HTTP_ERRORS.inc(route=route, status=str(status))
+        started = getattr(self, "_started", None)
+        if started is not None:
+            _HTTP_LATENCY.observe(time.perf_counter() - started, route=route)
 
     def _content_length(self):
         """Parse Content-Length, or None when absent.
@@ -265,25 +359,58 @@ class HintRequestHandler(BaseHTTPRequestHandler):
     # -- routes ---------------------------------------------------------
 
     def do_POST(self):
-        if self.path == "/assignments":
-            self._dispatch(self._post_assignment)
-        elif self.path == "/grade":
-            self._dispatch(self._post_grade)
-        elif self.path == "/witness":
-            self._dispatch(self._post_witness)
-        else:
-            self._drain_body()
-            self._send_json(404, {"error": f"no such route {self.path}"})
+        self._handle("POST")
 
     def do_GET(self):
-        if self.path == "/stats":
-            self._dispatch(self._get_stats)
-        elif self.path == "/healthz":
-            self._drain_body()
-            self._send_json(200, {"ok": True})
+        self._handle("GET")
+
+    def _handle(self, method):
+        """Per-request bookkeeping around routing.
+
+        Stamps the latency start and the metric route label, and -- when
+        the server was started with ``slow_ms`` -- wraps the whole request
+        in a trace, logging the rendered span tree to stderr if handling
+        exceeds the threshold.
+        """
+        self._started = time.perf_counter()
+        self._route = self.path if self.path in KNOWN_ROUTES else "other"
+        slow_ms = getattr(self.server, "slow_ms", None)
+        if slow_ms is None:
+            self._route_request(method)
+            return
+        with TRACER.trace("http", method=method, path=self.path) as handle:
+            self._route_request(method)
+        if handle.duration_ms >= slow_ms:
+            lines = [
+                f"slow request: {method} {self.path} "
+                f"took {handle.duration_ms:.1f}ms "
+                f"(threshold {slow_ms:g}ms) trace={handle.trace_id}"
+            ]
+            lines.extend(f"  {line}" for line in handle.render())
+            print("\n".join(lines), file=sys.stderr)
+
+    def _route_request(self, method):
+        if method == "POST":
+            if self.path == "/assignments":
+                self._dispatch(self._post_assignment)
+            elif self.path == "/grade":
+                self._dispatch(self._post_grade)
+            elif self.path == "/witness":
+                self._dispatch(self._post_witness)
+            else:
+                self._drain_body()
+                self._send_json(404, {"error": f"no such route {self.path}"})
         else:
-            self._drain_body()
-            self._send_json(404, {"error": f"no such route {self.path}"})
+            if self.path == "/stats":
+                self._dispatch(self._get_stats)
+            elif self.path == "/metrics":
+                self._get_metrics()
+            elif self.path == "/healthz":
+                self._drain_body()
+                self._send_json(200, {"ok": True})
+            else:
+                self._drain_body()
+                self._send_json(404, {"error": f"no such route {self.path}"})
 
     def _post_assignment(self):
         payload = self._read_json()
@@ -318,13 +445,22 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         witness_text = bool(payload.get("witness_text", False))
         # witness_text needs a witness to anchor to, so it implies one.
         witness = bool(payload.get("witness", False)) or witness_text
+        want_trace = bool(payload.get("trace", False))
         session = self.server.service.session(assignment_id)
-        result = session.grade(sql, witness=witness)
+        trace_dict = None
+        if want_trace:
+            with TRACER.trace("grade", assignment=assignment_id) as handle:
+                result = session.grade(sql, witness=witness)
+            trace_dict = handle.to_dict()
+        else:
+            result = session.grade(sql, witness=witness)
         body = result.to_dict(show_fixes=show_fixes)
         body["assignment_id"] = assignment_id
         body["text"] = result.text(
             show_fixes=show_fixes, witness_text=witness_text
         )
+        if trace_dict is not None:
+            body["trace"] = trace_dict
         return 200, body
 
     def _post_witness(self):
@@ -348,37 +484,62 @@ class HintRequestHandler(BaseHTTPRequestHandler):
 
     def _get_stats(self):
         self._drain_body()
-        return 200, self.server.service.stats()
+        stats = self.server.service.stats()
+        stats["http"] = http_stats()
+        return 200, stats
+
+    def _get_metrics(self):
+        """Prometheus text exposition: registry metrics plus the
+        scrape-time per-assignment solver/cache/session families."""
+        self._drain_body()
+        try:
+            text = REGISTRY.render() + render_families(
+                service_metric_families(self.server.service)
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"internal error: {error}"})
+            return
+        self._send_body(
+            200,
+            text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
 
 
-def make_server(host="127.0.0.1", port=0, service=None):
+def make_server(host="127.0.0.1", port=0, service=None, slow_ms=None):
     """Build (but do not start) the threading HTTP server.
 
     ``port=0`` binds an ephemeral port (tests); the bound address is on
-    ``server.server_address``.
+    ``server.server_address``.  ``slow_ms`` enables per-request tracing
+    with slow-request logging (see :class:`HintRequestHandler._handle`).
     """
     server = ThreadingHTTPServer((host, port), HintRequestHandler)
     server.daemon_threads = True
     server.service = service or HintService()
+    server.slow_ms = slow_ms
     return server
 
 
 def serve(host="127.0.0.1", port=8100, service=None, quiet=False,
-          spiller=None):
+          spiller=None, slow_ms=None):
     """Run the API server until interrupted; returns the exit code.
 
     ``spiller`` (a :class:`CacheSpiller`) is started alongside the server
     and stopped -- after a final flush attempt -- on the way out.
+    ``slow_ms`` logs any request slower than the threshold together with
+    its rendered span tree.
     """
     HintRequestHandler.quiet = quiet
-    server = make_server(host, port, service)
+    server = make_server(host, port, service, slow_ms=slow_ms)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro hint service listening on http://{bound_host}:{bound_port}")
     print("routes: POST /assignments  POST /grade  POST /witness  "
-          "GET /stats  GET /healthz")
+          "GET /stats  GET /metrics  GET /healthz")
     if spiller is not None:
         spiller.start()
         print(f"cache spill every {spiller.interval:g}s -> {spiller.path}")
+    if slow_ms is not None:
+        print(f"tracing requests; logging those slower than {slow_ms:g}ms")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.core.hints import Hint
 from repro.core.pipeline import QrHint
+from repro.obs import REGISTRY, TRACER
 from repro.query import ResolvedQuery
 from repro.service.cache import (
     ArtifactCache,
@@ -50,6 +51,17 @@ _SQL_LITERAL = re.compile(r"'[^']*'")
 #: expensive search is not repeated per duplicate submission.  A plain
 #: string keeps worker-pickled cache payloads trivially serializable.
 _NO_WITNESS = "__no_witness__"
+
+_GRADE_SECONDS = REGISTRY.histogram(
+    "repro_grade_seconds",
+    "Wall time serving one submission, by artifact-cache outcome.",
+    ("cached",),
+)
+_GRADE_TOTAL = REGISTRY.counter(
+    "repro_grades_total",
+    "Submissions graded, by artifact-cache outcome.",
+    ("cached",),
+)
 
 
 def _remap_text(text, inverse):
@@ -336,7 +348,7 @@ class AssignmentSession:
         """
         start = time.perf_counter()
         sql = submission if isinstance(submission, str) else submission.to_sql()
-        with self.lock:
+        with TRACER.span("session.grade") as span, self.lock:
             canonical, inverse = _prepared or self.prepare(submission)
             report = self.cache.get(canonical)
             cached = report is not None
@@ -349,6 +361,10 @@ class AssignmentSession:
             self.submissions += 1
             elapsed = time.perf_counter() - start
             self.elapsed_total += elapsed
+            span.set(cached=cached, all_passed=report.all_passed)
+            cached_label = "true" if cached else "false"
+            _GRADE_SECONDS.observe(elapsed, cached=cached_label)
+            _GRADE_TOTAL.inc(cached=cached_label)
         stage_hints = tuple(
             (
                 stage.stage,

@@ -31,6 +31,7 @@ from repro.logic.formulas import (
     neg,
 )
 from repro.logic.terms import Term
+from repro.obs import TRACER
 from repro.solver.atoms import CanonicalLiteral, canonicalize
 from repro.solver.sat import SatSolver
 from repro.solver.theory import check_literals, find_model as theory_find_model
@@ -210,6 +211,14 @@ class Solver:
         play.  Results are deterministic per formula (a fresh SAT core is
         built per call; only the memoized theory-literal cache is shared).
         """
+        if not TRACER.enabled:  # keep the production path span-free
+            return self._find_model_impl(formula, context, max_attempts)
+        with TRACER.span("solver.find_model") as span:
+            model = self._find_model_impl(formula, context, max_attempts)
+            span.set(found=model is not None)
+            return model
+
+    def _find_model_impl(self, formula, context, max_attempts):
         goal = conj(*context, formula)
         self.stats["sat_calls"] += 1
         atom_vars = {}
@@ -234,7 +243,7 @@ class Solver:
                 literals = tuple(
                     (var_to_atom[var], model[var]) for var in atom_var_order
                 )
-                if self._theory_ok(literals):
+                if self._theory_round(sat, atom_vars, literals):
                     extracted = theory_find_model(literals)
                     if extracted is not None:
                         values, complete = extracted
@@ -252,9 +261,6 @@ class Solver:
                     # would resurface, burning the attempts budget.  Block
                     # it permanently.
                     _block_literals(sat, atom_vars, literals, lemma=False)
-                else:
-                    core = self._shrink_core(literals)
-                    _block_literals(sat, atom_vars, core, lemma=True)
             raise SolverLimitError("exceeded conflict budget")
         finally:
             self._absorb_sat_stats(sat.stats)
@@ -273,6 +279,14 @@ class Solver:
         return result
 
     def _solve(self, formula):
+        if not TRACER.enabled:  # keep the production path span-free
+            return self._solve_impl(formula)
+        with TRACER.span("solver.solve") as span:
+            result = self._solve_impl(formula)
+            span.set(result=result)
+            return result
+
+    def _solve_impl(self, formula):
         self.stats["sat_calls"] += 1
         atom_vars = {}  # Atom -> int propositional var
         sat = SatSolver()
@@ -303,10 +317,8 @@ class Solver:
                 literals = tuple(
                     (var_to_atom[var], model[var]) for var in atom_var_order
                 )
-                if self._theory_ok(literals):
+                if self._theory_round(sat, atom_vars, literals):
                     return SAT
-                core = self._shrink_core(literals)
-                _block_literals(sat, atom_vars, core, lemma=True)
             raise SolverLimitError("exceeded conflict budget")
         finally:
             self._absorb_sat_stats(sat.stats)
@@ -326,6 +338,31 @@ class Solver:
         # Enumeration-path counters from the chronological engine.
         stats["chrono_backtracks"] += sat_stats["chrono_backtracks"]
         stats["saved_trail_literals"] += sat_stats["saved_trail_literals"]
+
+    def _theory_round(self, sat, atom_vars, literals):
+        """One theory-lemma round of the DPLL(T) loop.
+
+        Checks the propositional model's literal conjunction against the
+        theory; on conflict the minimized core is blocked as a deletable
+        lemma.  Returns True iff the model was theory-consistent.  The
+        traced variant records one ``solver.theory_round`` span per round;
+        the production path (no active trace) stays span-free.
+        """
+        if not TRACER.enabled:
+            if self._theory_ok(literals):
+                return True
+            core = self._shrink_core(literals)
+            _block_literals(sat, atom_vars, core, lemma=True)
+            return False
+        with TRACER.span("solver.theory_round") as span:
+            span.set(literals=len(literals))
+            if self._theory_ok(literals):
+                span.set(consistent=True)
+                return True
+            core = self._shrink_core(literals)
+            span.set(consistent=False, core=len(core))
+            _block_literals(sat, atom_vars, core, lemma=True)
+            return False
 
     def _theory_ok(self, literals):
         key = frozenset(literals)
@@ -476,6 +513,14 @@ class FeasibilitySession:
 
     def feasible_prefix(self, assignment, length):
         """Is ``atoms[i] == bit i of assignment`` (i < length) consistent?"""
+        if not TRACER.enabled:  # keep the production path span-free
+            return self._feasible_prefix_impl(assignment, length)
+        with TRACER.span("solver.feasible_prefix") as span:
+            feasible = self._feasible_prefix_impl(assignment, length)
+            span.set(length=length, feasible=feasible)
+            return feasible
+
+    def _feasible_prefix_impl(self, assignment, length):
         if self._context_false:
             self.last_core = ()
             return False
@@ -517,10 +562,8 @@ class FeasibilitySession:
                 literals = tuple(
                     (var_to_atom[var], model[var]) for var in self._order
                 )
-                if solver._theory_ok(literals):
+                if solver._theory_round(sat, atom_vars, literals):
                     return True
-                core = solver._shrink_core(literals)
-                _block_literals(sat, atom_vars, core, lemma=True)
             raise SolverLimitError("exceeded conflict budget")
         finally:
             snapshot = dict(sat.stats)

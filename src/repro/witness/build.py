@@ -34,6 +34,7 @@ from repro.engine.database import Database
 from repro.engine.executor import execute
 from repro.errors import SolverLimitError
 from repro.logic.formulas import conj
+from repro.obs import TRACER
 from repro.solver import Solver
 from repro.witness.divergence import divergence_formula, emits_single_row
 from repro.witness.instance import build_instance, guided_generator
@@ -198,6 +199,33 @@ def generate_witness(
     seeded.  Returns None when the queries appear equivalent (no
     divergence surfaced) or when no witness fits ``max_rows_per_table``.
     """
+    with TRACER.span("witness.generate") as span:
+        witness = _generate_witness(
+            catalog,
+            target,
+            working,
+            solver=solver,
+            seed=seed,
+            max_rows_per_table=max_rows_per_table,
+            trials=trials,
+        )
+        span.set(
+            found=witness is not None,
+            source=witness.source if witness is not None else None,
+        )
+        return witness
+
+
+def _generate_witness(
+    catalog,
+    target,
+    working,
+    *,
+    solver,
+    seed,
+    max_rows_per_table,
+    trials,
+):
     start = time.perf_counter()
     solver = solver or Solver()
 

@@ -1,0 +1,390 @@
+"""Tests for repro.obs: tracer semantics, metrics, exposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.obs import TRACER, MetricsRegistry, log_buckets, snapshot_delta
+from repro.obs.export import parse_prometheus_text, service_metric_families
+from repro.obs.metrics import render_families
+from repro.obs.trace import _NULL_SPAN
+from repro.service.batch import grade_batch
+from repro.service.server import HintService
+from repro.service.session import AssignmentSession
+
+SCHEMA = {
+    "Serves": [["bar", "STRING"], ["beer", "STRING"], ["price", "FLOAT"]],
+}
+TARGET = "SELECT bar FROM Serves WHERE price > 10"
+WRONG = "SELECT bar FROM Serves WHERE price > 5"
+
+
+def catalog():
+    return Catalog.from_spec(SCHEMA)
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+
+
+class TestTracer:
+    def test_disabled_returns_shared_null_span(self):
+        assert not TRACER.enabled
+        span = TRACER.span("anything", attr=1)
+        assert span is _NULL_SPAN
+        with span as inner:
+            inner.set(more=2)  # no-op, no error
+
+    def test_span_nesting_and_attrs(self):
+        with TRACER.trace("root", run=7) as handle:
+            assert TRACER.enabled
+            with TRACER.span("child") as child:
+                child.set(key="value")
+                with TRACER.span("grandchild"):
+                    pass
+            with TRACER.span("sibling"):
+                pass
+        assert not TRACER.enabled
+        d = handle.to_dict()
+        assert [s["name"] for s in d["spans"]] == [
+            "root", "child", "grandchild", "sibling"
+        ]
+        by_name = {s["name"]: s for s in d["spans"]}
+        assert by_name["root"]["parent"] is None
+        assert by_name["child"]["parent"] == by_name["root"]["id"]
+        assert by_name["grandchild"]["parent"] == by_name["child"]["id"]
+        assert by_name["sibling"]["parent"] == by_name["root"]["id"]
+        assert by_name["root"]["attrs"] == {"run": 7}
+        assert by_name["child"]["attrs"] == {"key": "value"}
+        assert len(d["trace_id"]) == 16
+        # tree mirrors the parent links
+        (tree_root,) = d["tree"]
+        assert [c["name"] for c in tree_root["children"]] == [
+            "child", "sibling"
+        ]
+        json.dumps(d)  # JSON-safe
+
+    def test_nested_trace_captures_subtree(self):
+        with TRACER.trace("outer") as outer:
+            with TRACER.span("before"):
+                pass
+            with TRACER.trace("inner") as inner:
+                with TRACER.span("work"):
+                    pass
+        inner_names = [s["name"] for s in inner.to_dict()["spans"]]
+        outer_names = [s["name"] for s in outer.to_dict()["spans"]]
+        assert inner_names == ["inner", "work"]
+        # the nested capture also stays inside the outer trace
+        assert outer_names == ["outer", "before", "inner", "work"]
+        # both traces share one trace id (same recording)
+        assert inner.trace_id == outer.trace_id
+
+    def test_exception_records_error_attr(self):
+        with pytest.raises(RuntimeError):
+            with TRACER.trace("boom") as handle:
+                with TRACER.span("inner"):
+                    raise RuntimeError("nope")
+        by_name = {s["name"]: s for s in handle.to_dict()["spans"]}
+        assert by_name["inner"]["attrs"]["error"] == "RuntimeError"
+        assert by_name["boom"]["attrs"]["error"] == "RuntimeError"
+        assert not TRACER.enabled  # trace deactivated despite the raise
+
+    def test_traces_are_thread_local(self):
+        seen = {}
+
+        def other_thread():
+            seen["enabled"] = TRACER.enabled
+            seen["span"] = TRACER.span("elsewhere")
+
+        with TRACER.trace("here"):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        # The hot-path flag is a conservative process-wide hint...
+        assert seen["enabled"] is True
+        # ...but recording stays thread-local: the other thread fell
+        # through to span() and got the no-op span, not a recorded one.
+        assert seen["span"] is _NULL_SPAN
+        assert not TRACER.enabled
+
+    def test_adopt_reparents_and_rebases(self):
+        with TRACER.trace("worker-side") as worker:
+            with TRACER.span("work"):
+                pass
+        serialized = worker.to_dict()
+        with TRACER.trace("parent") as parent:
+            with TRACER.span("dispatch"):
+                adopted = TRACER.adopt(serialized)
+        assert adopted == 2
+        d = parent.to_dict()
+        by_name = {s["name"]: s for s in d["spans"]}
+        # foreign root hangs off the open span at adoption time
+        assert by_name["worker-side"]["parent"] == by_name["dispatch"]["id"]
+        assert by_name["work"]["parent"] == by_name["worker-side"]["id"]
+        # durations survive re-basing exactly
+        assert by_name["work"]["duration_ms"] == pytest.approx(
+            {s["name"]: s for s in serialized["spans"]}["work"][
+                "duration_ms"
+            ],
+            abs=1e-3,
+        )
+
+    def test_adopt_without_active_trace_is_noop(self):
+        with TRACER.trace("t") as handle:
+            pass
+        assert TRACER.adopt(handle.to_dict()) == 0
+
+    def test_render_indents_by_depth(self):
+        with TRACER.trace("a") as handle:
+            with TRACER.span("b"):
+                with TRACER.span("c"):
+                    pass
+        lines = handle.render()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("  b ")
+        assert lines[2].startswith("    c ")
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+
+
+class TestMetrics:
+    def test_counter_labels_and_errors(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "hits", ("kind",))
+        c.inc(kind="a")
+        c.inc(2, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 3
+        assert c.value(kind="b") == 1
+        assert c.value(kind="missing") == 0
+        with pytest.raises(ValueError):
+            c.inc(-1, kind="a")
+        with pytest.raises(ValueError):
+            c.inc(wrong_label="a")
+
+    def test_registration_is_idempotent_but_typed(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("x_total", "x", ("l",))
+        c2 = reg.counter("x_total", "x", ("l",))
+        assert c1 is c2
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "x", ("other",))
+
+    def test_histogram_quantiles_from_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=log_buckets())
+        for _ in range(90):
+            h.observe(0.001)
+        for _ in range(9):
+            h.observe(0.1)
+        h.observe(10.0)
+        assert h.count() == 100
+        assert h.sum() == pytest.approx(90 * 0.001 + 9 * 0.1 + 10.0)
+        # quantile returns the upper bound of the containing bucket
+        assert h.quantile(0.5) <= 0.0016
+        assert 0.05 <= h.quantile(0.95) <= 0.2
+        assert h.quantile(0.999) >= 10.0
+
+    def test_histogram_overflow_lands_in_inf_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t_seconds", "t", buckets=(0.1, 1.0))
+        h.observe(50.0)
+        assert h.count() == 1
+        assert h.quantile(0.5) == 1.0  # capped at the top finite bound
+
+    def test_snapshot_merge_roundtrip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "ops", ("op",))
+        g = reg.gauge("level", "level")
+        h = reg.histogram("dur_seconds", "dur", buckets=(0.1, 1.0))
+        c.inc(3, op="read")
+        g.set(7)
+        h.observe(0.05)
+        h.observe(5.0)
+        snap = reg.snapshot()
+        json.dumps(snap)  # JSON-safe
+
+        other = MetricsRegistry()
+        other.merge(snap)
+        other.merge(snap)  # counters/histograms add, gauges overwrite
+        assert other.get("ops_total").value(op="read") == 6
+        assert other.get("level").value() == 7
+        assert other.get("dur_seconds").count() == 4
+
+    def test_snapshot_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", "n")
+        h = reg.histogram("d_seconds", "d", buckets=(1.0,))
+        c.inc(5)
+        h.observe(0.5)
+        before = reg.snapshot()
+        c.inc(2)
+        h.observe(0.7)
+        delta = snapshot_delta(before, reg.snapshot())
+        fresh = MetricsRegistry()
+        fresh.merge(delta)
+        assert fresh.get("n_total").value() == 2
+        assert fresh.get("d_seconds").count() == 1
+        # nothing changed -> empty delta
+        assert snapshot_delta(reg.snapshot(), reg.snapshot()) == {}
+
+    def test_render_parses_as_prometheus_text(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "requests", ("route", "status"))
+        c.inc(4, route="/grade", status="200")
+        c.inc(1, route="/grade", status="400")
+        h = reg.histogram("req_seconds", "latency", ("route",),
+                          buckets=(0.01, 0.1, 1.0))
+        h.observe(0.05, route="/grade")
+        h.observe(0.5, route="/grade")
+        text = reg.render()
+        families = parse_prometheus_text(text)
+        assert families["req_total"]["kind"] == "counter"
+        samples = {
+            (labels["route"], labels["status"]): value
+            for _, labels, value in families["req_total"]["samples"]
+        }
+        assert samples[("/grade", "200")] == 4
+        hist = families["req_seconds"]
+        assert hist["kind"] == "histogram"
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in hist["samples"]
+            if name == "req_seconds_bucket"
+        }
+        assert buckets["0.1"] == 1
+        assert buckets["+Inf"] == 2
+
+    def test_label_escaping_survives_round_trip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("weird_total", "weird", ("sql",))
+        c.inc(sql='SELECT "x"\nFROM t\\u')
+        families = parse_prometheus_text(reg.render())
+        ((_, labels, value),) = families["weird_total"]["samples"]
+        assert labels["sql"] == 'SELECT "x"\nFROM t\\u'
+        assert value == 1
+
+    def test_parser_rejects_malformed_text(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("no_type_declared 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE x bogus_kind\nx 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE x counter\nx notanumber\n")
+        # histogram without +Inf bucket
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+        # _count disagreeing with +Inf
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 0.5\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+
+# ---------------------------------------------------------------------------
+# Service exposition
+
+
+class TestServiceFamilies:
+    def test_solver_cache_counters_rehomed(self):
+        service = HintService()
+        service.create_assignment(
+            catalog(), TARGET, assignment_id="a1"
+        )
+        session = service.session("a1")
+        session.grade(WRONG)
+        session.grade(WRONG)  # second grade hits the artifact cache
+        families = {f["name"]: f for f in service_metric_families(service)}
+        def value(name):
+            ((labels, v),) = families[name]["samples"]
+            assert labels == {"assignment": "a1"}
+            return v
+        assert value("repro_session_submissions_total") == 2
+        assert value("repro_session_pipeline_runs_total") == 1
+        assert value("repro_cache_hits_total") == 1
+        assert value("repro_cache_misses_total") == 1
+        assert value("repro_solver_sat_calls_total") > 0
+        text = render_families(service_metric_families(service))
+        parsed = parse_prometheus_text(text)
+        assert "repro_solver_sat_calls_total" in parsed
+
+
+# ---------------------------------------------------------------------------
+# End-to-end traced grading
+
+
+class TestTracedGrading:
+    def test_traced_grade_covers_stages_and_solver(self):
+        session = AssignmentSession(catalog(), TARGET)
+        with TRACER.trace("grade") as handle:
+            result = session.grade(WRONG)
+        assert not result.all_passed
+        names = [s["name"] for s in handle.to_dict()["spans"]]
+        for required in (
+            "session.grade",
+            "cache.get",
+            "pipeline.run",
+            "stage.FROM",
+            "stage.WHERE",
+            "stage.SELECT",
+            "solver.solve",
+        ):
+            assert required in names, f"missing span {required}: {names}"
+
+    def test_cached_grade_skips_pipeline_spans(self):
+        session = AssignmentSession(catalog(), TARGET)
+        session.grade(WRONG)  # warm the artifact cache
+        with TRACER.trace("grade") as handle:
+            result = session.grade(WRONG)
+        assert result.cached
+        names = [s["name"] for s in handle.to_dict()["spans"]]
+        assert "pipeline.run" not in names
+        assert "cache.get" in names
+
+    def test_batch_traces_serialize_and_reparent(self):
+        subs = [WRONG, WRONG, "SELECT beer FROM Serves WHERE price < 2"]
+        with TRACER.trace("batch") as handle:
+            batch = grade_batch(
+                catalog(), TARGET, subs, processes=1, trace=True
+            )
+        assert len(batch.traces) == batch.unique == 2
+        for trace in batch.traces:
+            names = [s["name"] for s in trace["spans"]]
+            assert names[0] == "grade"
+            assert "pipeline.run" in names
+            json.dumps(trace)
+        # the serial path records straight into the open parent trace
+        parent_names = [s["name"] for s in handle.to_dict()["spans"]]
+        assert parent_names.count("grade") == 2
+
+    def test_multiprocess_batch_traces(self):
+        subs = [WRONG, "SELECT beer FROM Serves WHERE price < 2"]
+        batch = grade_batch(
+            catalog(), TARGET, subs, processes=2, trace=True
+        )
+        assert batch.processes == 2
+        assert len(batch.traces) == 2
+        for trace in batch.traces:
+            names = [s["name"] for s in trace["spans"]]
+            assert "pipeline.run" in names
+
+    def test_untraced_batch_has_no_traces(self):
+        batch = grade_batch(catalog(), TARGET, [WRONG], processes=1)
+        assert batch.traces == []

@@ -440,6 +440,144 @@ class TestHttpServer:
         assert entry["pipeline_runs"] == 1  # one solve, 15 cache serves
 
 
+def _get_text(client, path):
+    """Fetch ``path`` raw (``_Client.get`` JSON-decodes the body)."""
+    with urllib.request.urlopen(client.base + path) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+def _scrape(client):
+    from repro.obs import parse_prometheus_text
+
+    status, content_type, text = _get_text(client, "/metrics")
+    assert status == 200
+    assert content_type.startswith("text/plain")
+    return parse_prometheus_text(text)
+
+
+def _counter(families, name, **labels):
+    family = families.get(name)
+    if family is None:
+        return 0.0
+    for sample_name, sample_labels, value in family["samples"]:
+        if sample_name == name and sample_labels == labels:
+            return value
+    return 0.0
+
+
+class TestMetricsEndpoint:
+    def _create(self, client):
+        return client.post(
+            "/assignments", {"schema": SCHEMA, "target_sql": TARGET}
+        )
+
+    def test_metrics_is_valid_prometheus_text(self, client):
+        _, created = self._create(client)
+        aid = created["assignment_id"]
+        client.post("/grade", {"assignment_id": aid, "sql": WRONG})
+        families = _scrape(client)
+        # Request-latency histogram, cache and solver counters all expose.
+        assert families["repro_http_request_seconds"]["kind"] == "histogram"
+        assert families["repro_cache_hits_total"]["kind"] == "counter"
+        assert families["repro_cache_misses_total"]["kind"] == "counter"
+        assert families["repro_solver_sat_calls_total"]["kind"] == "counter"
+        assert families["repro_grades_total"]["kind"] == "counter"
+        assert families["repro_stage_seconds"]["kind"] == "histogram"
+        assert (
+            _counter(
+                families, "repro_session_submissions_total", assignment=aid
+            )
+            >= 1
+        )
+
+    def test_bad_json_increments_error_counter(self, client):
+        before = _scrape(client)
+        request = urllib.request.Request(
+            client.base + "/grade", b"not json",
+            {"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        excinfo.value.read()
+        after = _scrape(client)
+        key = {"route": "/grade", "status": "400"}
+        assert (
+            _counter(after, "repro_http_errors_total", **key)
+            == _counter(before, "repro_http_errors_total", **key) + 1
+        )
+
+    def test_unknown_route_increments_error_counter(self, client):
+        # Unknown paths collapse to the "other" route label so a URL
+        # scanner cannot blow up metric cardinality.
+        before = _scrape(client)
+        status, body = client.get("/definitely-not-a-route")
+        assert status == 404 and "error" in body
+        after = _scrape(client)
+        key = {"route": "other", "status": "404"}
+        assert (
+            _counter(after, "repro_http_errors_total", **key)
+            == _counter(before, "repro_http_errors_total", **key) + 1
+        )
+
+    def test_oversized_body_413_increments_error_counter(self, client):
+        import http.client
+        from urllib.parse import urlsplit
+
+        before = _scrape(client)
+        netloc = urlsplit(client.base).netloc
+        conn = http.client.HTTPConnection(netloc, timeout=5)
+        try:
+            # Announce an oversized body without sending it: the server
+            # must reject from Content-Length alone, before reading.
+            conn.putrequest("POST", "/grade")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(2_000_000))
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 413
+            resp.read()
+        finally:
+            conn.close()
+        after = _scrape(client)
+        key = {"route": "/grade", "status": "413"}
+        assert (
+            _counter(after, "repro_http_errors_total", **key)
+            == _counter(before, "repro_http_errors_total", **key) + 1
+        )
+
+    def test_http_stats_block(self, client):
+        client.get("/healthz")
+        status, stats = client.get("/stats")
+        assert status == 200
+        http_block = stats["http"]
+        assert http_block["requests"]["/healthz"]["200"] >= 1
+        latency = http_block["latency"]["/healthz"]
+        assert latency["count"] >= 1
+        assert latency["p95_ms"] >= 0.0
+
+    def test_traced_grade_returns_span_tree(self, client):
+        _, created = self._create(client)
+        aid = created["assignment_id"]
+        status, body = client.post(
+            "/grade",
+            {"assignment_id": aid, "sql": WRONG, "trace": True},
+        )
+        assert status == 200
+        trace = body["trace"]
+        names = [span["name"] for span in trace["spans"]]
+        for expected in (
+            "grade", "session.grade", "cache.get", "pipeline.run",
+            "stage.FROM", "stage.WHERE", "stage.SELECT", "solver.solve",
+        ):
+            assert expected in names, expected
+        # Untraced requests stay lean: no trace key at all.
+        _, plain = client.post(
+            "/grade", {"assignment_id": aid, "sql": WRONG}
+        )
+        assert "trace" not in plain
+
+
 class TestCliSubcommands:
     @pytest.fixture()
     def schema_file(self, tmp_path):
@@ -750,6 +888,23 @@ class TestCacheSpiller:
         session.grade(TARGET)
         time.sleep(0.15)
         assert spiller.spills == spills
+
+    def test_stop_flushes_final_spill(self, tmp_path, beers_catalog):
+        # Regression: mutations landing between the last periodic tick
+        # and shutdown used to be lost; stop() must flush them.
+        from repro.service.server import CacheSpiller
+
+        session = AssignmentSession(beers_catalog, TARGET)
+        path = tmp_path / "cache.json"
+        # Interval far beyond the test: the background thread never ticks,
+        # so anything on disk afterwards came from stop() itself.
+        spiller = CacheSpiller(session.cache, str(path), interval=3600)
+        spiller.start()
+        session.grade(WRONG)
+        spiller.stop()
+        assert spiller.spills == 1
+        assert path.exists()
+        assert self._loaded_keys(str(path)) >= 1
 
 
 class TestWitnessText:
