@@ -31,7 +31,13 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 from repro.corpus import CorpusGenerator, evaluate_corpus
 from repro.corpus.generator import stage_mix
 
-OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_corpus.json"
+_ROOT = pathlib.Path(__file__).parent.parent
+#: Committed baseline (read for the regression gate) vs. output path
+#: (redirected by ``repro perfdiff`` via ``$BENCH_OUT_DIR``).
+COMMITTED_PATH = _ROOT / "BENCH_corpus.json"
+OUT_PATH = pathlib.Path(
+    os.environ.get("BENCH_OUT_DIR") or _ROOT
+) / "BENCH_corpus.json"
 
 #: CI gate: fail when throughput drops below this fraction of the
 #: committed BENCH_corpus.json value (runner-speed skew tolerance).
@@ -139,7 +145,7 @@ def run_full():
 
 def _committed(section):
     try:
-        committed = json.loads(OUT_PATH.read_text())
+        committed = json.loads(COMMITTED_PATH.read_text())
         return committed[section]["throughput"]
     except (OSError, KeyError, ValueError):
         return None
@@ -164,6 +170,12 @@ def main(argv=None):
     smoke = run_smoke()
     _gate("smoke", smoke["throughput"], _committed("smoke"))
     if smoke_only:
+        if os.environ.get("BENCH_OUT_DIR"):
+            # perfdiff re-runs this in smoke mode and compares whatever
+            # sections the fresh file shares with the committed one.
+            payload = {"python": sys.version.split()[0], "smoke": smoke}
+            OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {OUT_PATH}")
         print("smoke corpus OK")
         return 0
 

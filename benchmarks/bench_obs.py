@@ -13,19 +13,28 @@ Two halves, both CI-gated (the ``obs-smoke`` job)::
    throughput is compared, and the run fails when the guard costs more
    than ``MAX_OVERHEAD`` (2%).
 
-2. **Live-server scrape**: boots the HTTP service on an ephemeral port,
+2. **Enabled-journal overhead** on the same kernel: the flight recorder
+   is *always on* in production, so its cost on the hot loop is gated at
+   the same < 2% bar.  Kernel A runs with ``JOURNAL.enabled`` (the
+   production default: sampled chrono events, restart/DB-reduction
+   events), kernel B with the journal off; interleaved rounds, best-of.
+
+3. **Live-server scrape**: boots the HTTP service on an ephemeral port,
    grades a wrong query with ``"trace": true``, asserts the returned span
    tree covers every pipeline stage plus a solver solve, then fetches
    ``GET /metrics`` and validates the payload with the strict
    :func:`repro.obs.parse_prometheus_text` parser (TYPE coverage,
    histogram bucket monotonicity, ``+Inf``/``_count`` consistency).
 
-Results land in ``BENCH_obs.json`` at the repository root.
+Results land in ``BENCH_obs.json`` at the repository root (or in
+``$BENCH_OUT_DIR`` when set -- how ``repro perfdiff`` re-runs this
+without touching the committed baseline).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 import threading
@@ -35,14 +44,18 @@ import urllib.request
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
 from bench_solver_micro import sat_conjunctive_kernel, _conjunctive_clauses, NUM_ATOMS, CHAIN
-from repro.obs import TRACER, parse_prometheus_text
+from repro.obs import JOURNAL, TRACER, parse_prometheus_text
 from repro.service import make_server
 from repro.solver.sat import SatSolver
 
-OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
+OUT_PATH = pathlib.Path(
+    os.environ.get("BENCH_OUT_DIR")
+    or pathlib.Path(__file__).parent.parent
+) / "BENCH_obs.json"
 
 #: CI gate: the disabled tracer may cost at most this fraction of the
-#: pristine kernel's throughput.
+#: pristine kernel's throughput.  The enabled journal is held to the
+#: same bar.
 MAX_OVERHEAD = 0.02
 
 ROUNDS = 9  # interleaved A/B timing rounds per side
@@ -110,6 +123,41 @@ def measure_overhead():
         "overhead": round(overhead, 5),
         "rounds": ROUNDS,
     }
+
+
+def measure_journal_overhead():
+    """Interleaved best-of throughput: journal enabled vs disabled.
+
+    Both sides run the pristine kernel through the *instrumented* SAT
+    core (restart/DB-reduction events, chrono sampling every
+    ``CHRONO_SAMPLE`` backtracks); the only difference is the
+    ``JOURNAL.enabled`` flag -- so this measures what always-on flight
+    recording costs production, not what the instrumentation costs
+    relative to an uninstrumented build.
+    """
+    assert not TRACER.enabled, "tracer must be disabled for the A/B run"
+    kernel = lambda: sat_conjunctive_kernel(SatSolver)  # noqa: E731
+    saved = JOURNAL.enabled
+    try:
+        kernel()  # warm-up
+        ops_on, ops_off = [], []
+        for _ in range(ROUNDS):
+            JOURNAL.enabled = True
+            ops_on.append(_round_ops(kernel))
+            JOURNAL.enabled = False
+            ops_off.append(_round_ops(kernel))
+        best_on, best_off = max(ops_on), max(ops_off)
+        overhead = 1.0 - best_on / best_off
+        return {
+            "enabled_ops_per_sec": round(best_on, 3),
+            "disabled_ops_per_sec": round(best_off, 3),
+            "overhead": round(overhead, 5),
+            "rounds": ROUNDS,
+            "events_buffered": len(JOURNAL),
+        }
+    finally:
+        JOURNAL.enabled = saved
+        JOURNAL.clear()
 
 
 # ----------------------------------------------------------------------
@@ -203,6 +251,19 @@ def main():
         f"exceeds the {MAX_OVERHEAD * 100:.0f}% bar"
     )
 
+    journal_overhead = measure_journal_overhead()
+    print(
+        f"  journal on  {journal_overhead['enabled_ops_per_sec']:.1f} ops/s\n"
+        f"  journal off {journal_overhead['disabled_ops_per_sec']:.1f} ops/s\n"
+        f"  overhead {journal_overhead['overhead'] * 100:.2f}% "
+        f"(gate: < {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    assert journal_overhead["overhead"] < MAX_OVERHEAD, (
+        f"enabled-journal overhead "
+        f"{journal_overhead['overhead'] * 100:.2f}% "
+        f"exceeds the {MAX_OVERHEAD * 100:.0f}% bar"
+    )
+
     smoke = scrape_smoke()
     print(
         f"  /metrics: {smoke['families']} families, "
@@ -213,6 +274,7 @@ def main():
     payload = {
         "python": sys.version.split()[0],
         "overhead": overhead,
+        "journal_overhead": journal_overhead,
         "scrape": smoke,
     }
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -34,7 +35,10 @@ from repro.solver import Solver
 from repro.sqlparser.rewrite import parse_query_extended
 from repro.workloads import dblp, userstudy
 
-OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_service.json"
+OUT_PATH = pathlib.Path(
+    os.environ.get("BENCH_OUT_DIR")
+    or pathlib.Path(__file__).parent.parent
+) / "BENCH_service.json"
 MIN_SPEEDUP = 5.0
 
 

@@ -19,6 +19,7 @@ of the committed value.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import random
 import sys
@@ -32,7 +33,14 @@ from repro.logic.terms import add, const, intvar
 from repro.solver import Solver
 from repro.solver.sat import SatSolver
 
-OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_solver.json"
+_ROOT = pathlib.Path(__file__).parent.parent
+#: Committed baseline (read for the regression gate) vs. output path
+#: (redirected by ``repro perfdiff`` via ``$BENCH_OUT_DIR`` so fresh
+#: runs never clobber the committed file).
+COMMITTED_PATH = _ROOT / "BENCH_solver.json"
+OUT_PATH = pathlib.Path(
+    os.environ.get("BENCH_OUT_DIR") or _ROOT
+) / "BENCH_solver.json"
 
 #: CI gate: fail when sat_conjunctive drops below this fraction of the
 #: committed BENCH_solver.json value (0.5x allows for runner-speed skew
@@ -348,7 +356,7 @@ GATED_KERNELS = ("sat_conjunctive", "sat_enumeration_chrono")
 def _committed_baselines():
     """Gated-kernel ops/sec from the committed BENCH_solver.json."""
     try:
-        committed = json.loads(OUT_PATH.read_text())
+        committed = json.loads(COMMITTED_PATH.read_text())
         kernels = committed["kernels"]
         return {
             name: kernels[name]["ops_per_sec"]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -32,7 +33,10 @@ from repro.service import AssignmentSession
 from repro.sqlparser.rewrite import parse_query_extended
 from repro.workloads import dblp, userstudy
 
-OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_witness.json"
+OUT_PATH = pathlib.Path(
+    os.environ.get("BENCH_OUT_DIR")
+    or pathlib.Path(__file__).parent.parent
+) / "BENCH_witness.json"
 MIN_COVERAGE = 0.9
 MAX_ROWS_PER_TABLE = 3
 

@@ -8,6 +8,8 @@ Subcommands::
                       --submissions subs.json --processes 4
     repro grade-batch --workload userstudy --question Q4 --count 200
     repro serve --port 8100 [--schema schema.json --target target.sql]
+    repro journal [--url http://host:port] [-n 50]
+    repro perfdiff --all --gate 0.5x
 
 ``hint`` is the default: invocations that start with a flag (the historic
 one-shot interface, ``python -m repro --schema ... --working ...``) are
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 from repro.catalog import Catalog
@@ -40,7 +43,10 @@ EXIT_OK = 0
 EXIT_VERIFY_FAILED = 1
 EXIT_ERROR = 2
 
-COMMANDS = ("hint", "witness", "grade-batch", "corpus", "serve")
+COMMANDS = (
+    "hint", "witness", "grade-batch", "corpus", "serve", "journal",
+    "perfdiff",
+)
 
 
 def load_catalog(path):
@@ -281,6 +287,69 @@ def build_parser():
     )
     serve.add_argument("--quiet", action="store_true", help="suppress access log")
     serve.set_defaults(func=cmd_serve)
+
+    journal = sub.add_parser(
+        "journal",
+        help="dump the flight recorder (this process's, or a running "
+        "server's via --url)",
+    )
+    journal.add_argument(
+        "--url", metavar="BASE",
+        help="fetch GET BASE/debug/journal from a running hint service "
+        "instead of dumping this process's (empty) recorder",
+    )
+    journal.add_argument(
+        "-n", type=int, default=None,
+        help="only the most recent N events (default: all buffered)",
+    )
+    journal.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print raw JSON events instead of the rendered lines",
+    )
+    journal.set_defaults(func=cmd_journal)
+
+    perfdiff = sub.add_parser(
+        "perfdiff",
+        help="compare fresh benchmark runs against the committed "
+        "BENCH_*.json files (the unified perf-regression sentinel)",
+    )
+    perfdiff.add_argument(
+        "--all", action="store_true",
+        help="check every registered benchmark",
+    )
+    perfdiff.add_argument(
+        "--bench", action="append", default=[], metavar="NAME",
+        help="benchmark to check (repeatable); see --list",
+    )
+    perfdiff.add_argument(
+        "--gate", default="0.5x", metavar="RATIO",
+        help="hard floor for gated higher-is-better metrics, e.g. 0.5x "
+        "(default 0.5x)",
+    )
+    perfdiff.add_argument(
+        "--ingest", action="append", default=[], metavar="BENCH_X.json",
+        help="use this already-produced run file instead of re-running "
+        "its benchmark (repeatable; the benchmark is inferred from the "
+        "file name)",
+    )
+    perfdiff.add_argument(
+        "--no-run", action="store_true",
+        help="never re-run benchmarks; compare only the --ingest files",
+    )
+    perfdiff.add_argument(
+        "--out-dir", metavar="DIR",
+        help="keep the fresh benchmark JSONs here (default: a temp dir "
+        "discarded after the comparison); CI uploads these as artifacts",
+    )
+    perfdiff.add_argument(
+        "--json", dest="json_out", metavar="PATH",
+        help="also write the full comparison report as JSON here",
+    )
+    perfdiff.add_argument(
+        "--list", action="store_true",
+        help="list the registered benchmarks and their metrics, then exit",
+    )
+    perfdiff.set_defaults(func=cmd_perfdiff)
 
     return parser
 
@@ -651,6 +720,144 @@ def cmd_serve(args):
         count = session.cache.save(args.cache_file)
         print(f"saved {count} cached artifact(s) to {args.cache_file}")
     return code
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+
+
+def cmd_journal(args):
+    from repro.obs import JOURNAL
+
+    if args.url:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/debug/journal"
+        if args.n is not None:
+            url += f"?n={args.n}"
+        try:
+            with urlopen(url, timeout=10) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except (URLError, OSError, ValueError) as error:
+            print(f"error: cannot fetch {url}: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        if args.json_out:
+            print(json.dumps(payload, indent=2))
+            return EXIT_OK
+        stats = payload.get("journal", {})
+        events = payload.get("events", [])
+        print(
+            f"journal @ {args.url}: {stats.get('size', len(events))} events "
+            f"buffered (capacity {stats.get('capacity', '?')}, "
+            f"{stats.get('dropped', 0)} dropped)"
+        )
+        for line in _render_events(events):
+            print(line)
+        return EXIT_OK
+
+    if args.json_out:
+        print(json.dumps(
+            {"journal": JOURNAL.stats(), "events": JOURNAL.tail(args.n)},
+            indent=2,
+        ))
+        return EXIT_OK
+    stats = JOURNAL.stats()
+    print(
+        f"journal: {stats['size']} events buffered "
+        f"(capacity {stats['capacity']}, {stats['dropped']} dropped)"
+    )
+    for line in JOURNAL.render(args.n):
+        print(line)
+    return EXIT_OK
+
+
+def _render_events(events):
+    """Render remote journal events with the Journal line format."""
+    import time as _time
+
+    lines = []
+    for event in events:
+        ts = _time.strftime(
+            "%H:%M:%S", _time.localtime(event.get("ts", 0))
+        ) + f".{int(event.get('ts', 0) * 1000) % 1000:03d}"
+        fields = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("seq", "ts", "kind")
+        )
+        line = f"{event.get('seq', 0):>6}  {ts}  {event.get('kind', '?')}"
+        if fields:
+            line += f"  {fields}"
+        lines.append(line)
+    return lines
+
+
+# ----------------------------------------------------------------------
+# perfdiff
+# ----------------------------------------------------------------------
+
+
+def cmd_perfdiff(args):
+    from repro.obs.baseline import (
+        BENCHMARKS,
+        infer_bench,
+        parse_gate,
+        perfdiff,
+    )
+
+    if args.list:
+        for name, spec in BENCHMARKS.items():
+            print(f"{name}: {spec.filename} -- {spec.note}")
+            for metric in spec.metrics:
+                gate_note = "gated" if metric.gated else "ungated"
+                print(f"    {metric.path} ({metric.direction}, {gate_note})")
+        return EXIT_OK
+
+    try:
+        gate = parse_gate(args.gate)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    benches = list(BENCHMARKS) if args.all else list(args.bench)
+    fresh_docs = {}
+    for path in args.ingest:
+        try:
+            bench = infer_bench(path)
+            with open(path) as handle:
+                fresh_docs[bench] = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_ERROR
+    if not benches:
+        benches = list(fresh_docs)
+    if not benches:
+        print("error: nothing to check; pass --all, --bench, or --ingest",
+              file=sys.stderr)
+        return EXIT_ERROR
+    unknown = [b for b in benches if b not in BENCHMARKS]
+    if unknown:
+        print(f"error: unknown benchmark(s): {', '.join(unknown)} "
+              f"(see --list)", file=sys.stderr)
+        return EXIT_ERROR
+
+    diff = perfdiff(
+        benches,
+        gate=gate,
+        fresh_docs=fresh_docs,
+        run=not args.no_run,
+        out_dir=args.out_dir,
+    )
+    for line in diff.render():
+        print(line)
+    if args.json_out:
+        pathlib.Path(args.json_out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json_out, "w") as handle:
+            json.dump(diff.to_dict(), handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return EXIT_VERIFY_FAILED if diff.failed else EXIT_OK
 
 
 # ----------------------------------------------------------------------

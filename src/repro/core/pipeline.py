@@ -30,6 +30,7 @@ from repro.core.where_repair import repair_where
 from repro.errors import RepairError
 from repro.logic.substitute import substitute
 from repro.obs import REGISTRY, TRACER
+from repro.obs.effort import effort_delta, effort_snapshot, nonzero
 from repro.query import ResolvedQuery
 from repro.solver import Solver
 from repro.solver.aggregates import agg_scalar_var
@@ -128,6 +129,21 @@ class QrHint:
             span.set(all_passed=report.all_passed)
             return report
 
+    # -- per-stage effort attribution ----------------------------------
+
+    def _stage_effort_start(self):
+        """Solver counter snapshot, only while a trace is recording."""
+        return effort_snapshot(self.solver) if TRACER.enabled else None
+
+    def _stage_effort_finish(self, span, before):
+        """Attach the stage's nonzero solver-counter delta to its span."""
+        if before is not None:
+            span.set(
+                effort=nonzero(
+                    effort_delta(before, effort_snapshot(self.solver))
+                )
+            )
+
     def _run(self):
         start = time.perf_counter()
         stages = []
@@ -136,12 +152,14 @@ class QrHint:
         # ---- FROM ----
         stage_start = time.perf_counter()
         with TRACER.span("stage.FROM") as span:
+            effort_before = self._stage_effort_start()
             delta = check_from(self.target, working)
             result = StageResult("FROM", passed=delta.viable)
             if not delta.viable:
                 result.hints = hint_templates.from_stage_hints(delta)
                 working = apply_from_fix(working, self.target, delta)
             span.set(passed=result.passed)
+            self._stage_effort_finish(span, effort_before)
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
@@ -163,6 +181,7 @@ class QrHint:
         # ---- WHERE ----
         stage_start = time.perf_counter()
         with TRACER.span("stage.WHERE") as span:
+            effort_before = self._stage_effort_start()
             result = StageResult("WHERE", passed=True)
             if not self.solver.is_equiv(working.where, target.where):
                 result.passed = False
@@ -184,6 +203,7 @@ class QrHint:
                     working, where=repair_result.repair.apply(working.where)
                 )
             span.set(passed=result.passed)
+            self._stage_effort_finish(span, effort_before)
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
@@ -192,6 +212,7 @@ class QrHint:
             # ---- GROUP BY ----
             stage_start = time.perf_counter()
             with TRACER.span("stage.GROUP BY") as span:
+                effort_before = self._stage_effort_start()
                 delta = fix_grouping(
                     target.where, working.group_by, target.group_by,
                     self.solver
@@ -208,6 +229,7 @@ class QrHint:
                         ),
                     )
                 span.set(passed=result.passed)
+                self._stage_effort_finish(span, effort_before)
             result.elapsed = time.perf_counter() - stage_start
             result.query_after = working
             stages.append(result)
@@ -215,6 +237,7 @@ class QrHint:
             # ---- HAVING ----
             stage_start = time.perf_counter()
             with TRACER.span("stage.HAVING") as span:
+                effort_before = self._stage_effort_start()
                 analysis = analyze_having(
                     target.where,
                     working.group_by,
@@ -247,6 +270,7 @@ class QrHint:
                         working, having=analysis.descalarize(fixed_scalar)
                     )
                 span.set(passed=result.passed)
+                self._stage_effort_finish(span, effort_before)
             result.elapsed = time.perf_counter() - stage_start
             result.query_after = working
             stages.append(result)
@@ -254,6 +278,7 @@ class QrHint:
         # ---- SELECT ----
         stage_start = time.perf_counter()
         with TRACER.span("stage.SELECT") as span:
+            effort_before = self._stage_effort_start()
             if spja:
                 analysis = analyze_having(
                     target.where,
@@ -289,6 +314,7 @@ class QrHint:
                 )
                 working = replace(working, distinct=target.distinct)
             span.set(passed=result.passed)
+            self._stage_effort_finish(span, effort_before)
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)

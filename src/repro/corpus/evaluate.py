@@ -25,7 +25,13 @@ and folds the per-entry outcomes into corpus-level metrics:
 * **repair-cost attribution** -- per mutation kind, the mean and p95
   pipeline time of the entries carrying that kind (``grade_ms_mean`` /
   ``grade_ms_p95`` in ``by_kind``), so expensive-to-grade mutation
-  classes are visible in the report and in ``BENCH_corpus.json``.
+  classes are visible in the report and in ``BENCH_corpus.json``;
+* **solver-effort attribution** -- per mutation kind, the mean solver
+  counter deltas (SAT calls, propagations, conflicts, theory rounds,
+  learned clauses, cores, ...) of grading the entries carrying that kind
+  (the ``effort`` block inside ``by_kind``): wall time says a kind is
+  slow, effort says *why* -- which mutation classes actually burn solver
+  work rather than pipeline bookkeeping.
 
 With ``trace_jsonl=PATH`` the batch grader also captures one span tree
 per unique graded form (serialized in the workers, re-parented in the
@@ -42,6 +48,7 @@ from dataclasses import dataclass, field
 
 from repro.corpus.schemas import bundled_sources
 from repro.errors import ReproError
+from repro.obs.effort import mean_effort
 from repro.service.batch import GradeError, grade_batch
 from repro.solver import Solver
 from repro.sqlparser.rewrite import parse_query_extended
@@ -175,6 +182,7 @@ def evaluate_corpus(
             processes=group_processes,
             max_sites=max_sites,
             trace=trace_jsonl is not None,
+            effort=True,
         )
         result.grade_elapsed += time.perf_counter() - start
         result.processes = max(result.processes, batch.processes)
@@ -190,6 +198,7 @@ def evaluate_corpus(
                 handle.write(json.dumps(record) + "\n")
 
     kind_elapsed = {}  # mutation kind -> pipeline seconds of its entries
+    kind_effort = {}  # mutation kind -> effort deltas of its entries
     for entry, outcome in outcomes:
         schema_stats = result.by_schema.setdefault(
             entry.schema, {"total": 0, "graded": 0, "flagged": 0}
@@ -209,6 +218,10 @@ def evaluate_corpus(
             kind_elapsed.setdefault(record.kind, []).append(
                 outcome.pipeline_elapsed
             )
+            if outcome.effort is not None:
+                kind_effort.setdefault(record.kind, []).append(
+                    outcome.effort
+                )
         if outcome.all_passed:
             result.benign += 1
             for record in entry.mutations:
@@ -237,6 +250,11 @@ def evaluate_corpus(
         else:
             stats["grade_ms_mean"] = 0.0
             stats["grade_ms_p95"] = 0.0
+        # Solver-effort attribution: the mean counter deltas of grading
+        # the forms these entries mapped to (every submission of a form
+        # carries the form's grading delta, so the mean is per
+        # *submission*, matching grade_ms_mean above).
+        stats["effort"] = mean_effort(kind_effort.get(kind, []))
 
     if witness:
         _measure_witness_coverage(

@@ -12,9 +12,24 @@ Three pieces (see ``docs/observability.md``):
 * :mod:`repro.obs.export` -- Prometheus text rendering of scrape-time
   families (the existing solver/session/cache counters, re-homed without
   renaming their public keys) and a text-format validator.
+
+The second generation (see ISSUE 8) adds:
+
+* :data:`JOURNAL` -- the process-wide always-on bounded flight recorder
+  (:mod:`repro.obs.journal`);
+* :mod:`repro.obs.effort` -- per-request solver-effort attribution via
+  counter snapshot/deltas;
+* :mod:`repro.obs.baseline` -- the unified perf-regression sentinel over
+  the committed ``BENCH_*.json`` files (``repro perfdiff``).
 """
 
-from repro.obs.export import parse_prometheus_text, service_metric_families
+from repro.obs.export import (
+    KNOWN_ROUTES,
+    bounded_route,
+    parse_prometheus_text,
+    service_metric_families,
+)
+from repro.obs.journal import CHRONO_SAMPLE, JOURNAL, Journal
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,9 +45,33 @@ from repro.obs.trace import TRACER, Span, Trace, TraceHandle, Tracer
 #: The process-wide registry all service-level metrics register into.
 REGISTRY = MetricsRegistry()
 
+# Effort helpers import lazily from this package (record_route_effort
+# resolves REGISTRY at call time), so this import must follow REGISTRY.
+from repro.obs.effort import (  # noqa: E402
+    EFFORT_KEYS,
+    EffortMeter,
+    effort_delta,
+    effort_snapshot,
+    mean_effort,
+    merge_effort,
+    record_route_effort,
+)
+
 __all__ = [
     "TRACER",
     "REGISTRY",
+    "JOURNAL",
+    "Journal",
+    "CHRONO_SAMPLE",
+    "EFFORT_KEYS",
+    "EffortMeter",
+    "effort_snapshot",
+    "effort_delta",
+    "mean_effort",
+    "merge_effort",
+    "record_route_effort",
+    "KNOWN_ROUTES",
+    "bounded_route",
     "Tracer",
     "Trace",
     "TraceHandle",

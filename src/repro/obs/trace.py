@@ -123,13 +123,36 @@ class Trace:
         are re-based through the serialized wall-clock start, so spans
         recorded in a worker process land at (approximately) the right
         offset on this trace's timeline while keeping exact durations.
+
+        Edge cases the re-basing must survive (workers are separate
+        processes with unrelated monotonic clocks):
+
+        * an empty or span-less worker trace adopts as zero spans and
+          must leave this trace untouched;
+        * a missing or null ``wall_start`` falls back to *this* trace's
+          start (offset 0) instead of raising;
+        * wall clocks can disagree, yielding a *negative* re-based
+          offset; offsets and span starts are clamped so adopted spans
+          never start before the span they are grafted under (a span
+          "before its parent" would serialize with a negative
+          ``start_ms`` and corrupt the parent timeline);
+        * negative per-span starts/durations from a clock-stepped worker
+          are clamped to zero rather than propagated.
         """
+        if not trace_dict:
+            return 0
         parent_id = self.stack[-1].span_id if self.stack else None
-        wall_offset = trace_dict.get("wall_start", self.wall_start)
-        offset = wall_offset - self.wall_start
+        # Adopted spans may not start before the span they are grafted
+        # under: handles render start_ms relative to their root span, so
+        # anything earlier would serialize negative.
+        floor = self.stack[-1].start if self.stack else self.perf_start
+        wall_offset = trace_dict.get("wall_start")
+        if wall_offset is None:
+            wall_offset = self.wall_start
+        offset = max(0.0, wall_offset - self.wall_start)
         id_map = {}
         adopted = 0
-        for item in trace_dict.get("spans", ()):
+        for item in trace_dict.get("spans", ()) or ():
             span = Span.__new__(Span)
             span._trace = self
             span.name = item["name"]
@@ -137,9 +160,12 @@ class Trace:
             self._next_id += 1
             id_map[item["id"]] = span.span_id
             span.parent_id = id_map.get(item.get("parent"), parent_id)
-            start = offset + item.get("start_ms", 0.0) / 1000.0
-            span.start = self.perf_start + start
-            span.end = span.start + item.get("duration_ms", 0.0) / 1000.0
+            start_ms = max(0.0, item.get("start_ms") or 0.0)
+            duration_ms = max(0.0, item.get("duration_ms") or 0.0)
+            span.start = max(
+                floor, self.perf_start + offset + start_ms / 1000.0
+            )
+            span.end = span.start + duration_ms / 1000.0
             span.attrs = dict(item.get("attrs", ()))
             self.spans.append(span)
             adopted += 1

@@ -22,10 +22,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ReproError
 from repro.obs import REGISTRY, TRACER, snapshot_delta
+from repro.obs.effort import EFFORT_KEYS, effort_delta, effort_snapshot
 from repro.service.session import AssignmentSession, _counter_delta
 
 
@@ -192,6 +193,7 @@ def grade_batch(
     session=None,
     witness=False,
     trace=False,
+    effort=False,
 ):
     """Grade ``submissions`` (SQL strings) against one shared ``target``.
 
@@ -209,6 +211,13 @@ def grade_batch(
     seed, so the output matches a serial run byte for byte); forms already
     cached by a caller-supplied session fall back to generation in the
     serve loop.
+
+    ``effort=True`` attaches the solver-effort counter delta of grading
+    each unique canonical form to every result served from it.  The
+    per-form deltas the workers already ship back for the solver-stats
+    merge double as the attribution source, so effort costs nothing
+    extra in the pool path; forms served from a pre-warmed cache carry
+    an all-zero delta (no solver work was done for them in this batch).
     """
     start = time.perf_counter()
     if session is None:
@@ -247,6 +256,7 @@ def grade_batch(
     solver_stats = {}
     failed = {}  # canonical form -> (message, kind) for unrepairable piles
     traces = []
+    form_efforts = {}  # canonical form -> effort delta of grading it
 
     # Back half: grade unique forms, sharded across workers when it pays.
     if processes > 1 and len(pending) > 1:
@@ -273,6 +283,10 @@ def grade_batch(
             if error is not None:
                 failed[canonical] = error
                 continue
+            if effort:
+                # The worker's solver delta for this form, re-keyed into
+                # the stable EFFORT_KEYS reporting order.
+                form_efforts[canonical] = effort_delta({}, delta)
             session.seed(canonical, report)
             session.pipeline_runs += 1
             session.pipeline_elapsed_total += report.elapsed
@@ -284,6 +298,7 @@ def grade_batch(
     else:
         before = session.solver.stats_snapshot()
         for canonical in pending:
+            form_before = effort_snapshot(session.solver) if effort else None
             handle = (
                 TRACER.trace("grade", sql=canonical.to_sql())
                 if trace
@@ -299,6 +314,10 @@ def grade_batch(
                         handle.__exit__(None, None, None)
                         traces.append(handle.to_dict())
                 session.seed(canonical, report)
+                if effort:
+                    form_efforts[canonical] = effort_delta(
+                        form_before, effort_snapshot(session.solver)
+                    )
             except ReproError as exc:
                 failed[canonical] = (str(exc), type(exc).__name__)
         _merge_counters(
@@ -317,7 +336,15 @@ def grade_batch(
             message, kind = failed[canonical]
             results.append(GradeError(sql, message, kind))
             continue
-        results.append(session.grade(sql, witness=witness, _prepared=entry))
+        outcome = session.grade(sql, witness=witness, _prepared=entry)
+        if effort:
+            outcome = replace(
+                outcome,
+                effort=form_efforts.get(
+                    canonical, dict.fromkeys(EFFORT_KEYS, 0)
+                ),
+            )
+        results.append(outcome)
     return BatchResult(
         results=results,
         elapsed=time.perf_counter() - start,

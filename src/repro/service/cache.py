@@ -26,7 +26,7 @@ from dataclasses import replace
 from repro.logic.formulas import And, BoolConst, Comparison, Not, Or
 from repro.logic.substitute import substitute_term
 from repro.logic.terms import Term, Var
-from repro.obs import TRACER
+from repro.obs import JOURNAL, TRACER
 from repro.query import FromEntry
 
 #: Prefix for canonical alias names.  Deliberately not a legal student
@@ -128,13 +128,16 @@ class ArtifactCache:
                 if key not in self._entries:
                     self.misses += 1
                     span.set(hit=False)
+                    JOURNAL.record("cache.miss", misses=self.misses)
                     return None
                 self.hits += 1
                 self._entries.move_to_end(key)
                 span.set(hit=True)
+                JOURNAL.record("cache.hit", hits=self.hits)
                 return self._entries[key]
 
     def put(self, key, artifact):
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -142,6 +145,11 @@ class ArtifactCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        if evicted:
+            JOURNAL.record(
+                "cache.evict", evicted=evicted, evictions=self.evictions
+            )
 
     def __len__(self):
         with self._lock:

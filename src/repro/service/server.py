@@ -9,15 +9,21 @@ exposes it over three routes served by a ``ThreadingHTTPServer``:
   the CLI schema file), returns ``{"assignment_id": "a1", ...}``.
 * ``POST /grade`` -- grade a submission; body
   ``{"assignment_id": "a1", "sql": "...", "show_fixes": false,
-  "witness": false}`` (``"witness": true`` adds an executor-verified
-  counterexample instance to wrong submissions).
+  "witness": false, "effort": false}`` (``"witness": true`` adds an
+  executor-verified counterexample instance to wrong submissions;
+  ``"effort": true`` adds the solver-effort counter delta of serving the
+  request).
 * ``POST /witness`` -- just the counterexample; body
   ``{"assignment_id": "a1", "sql": "..."}``.
 * ``GET /stats`` -- per-assignment cache/solver statistics plus
-  process-level HTTP request/latency statistics.
+  process-level HTTP request/latency statistics (and the cache-spiller's
+  ``spill`` block when one is attached).
 * ``GET /metrics`` -- Prometheus text exposition (request counters and
-  latency histograms, grade/stage histograms, per-assignment solver and
-  cache counters).
+  latency histograms, grade/stage histograms, per-route solver-effort
+  counters, per-assignment solver and cache counters).
+* ``GET /debug/journal?n=K`` -- the last K events of the process-wide
+  flight recorder (``repro.obs.JOURNAL``) as JSON; the recorder is also
+  dumped to stderr when a request dies with an unhandled exception.
 
 Observability: every response increments ``repro_http_requests_total``
 (and ``repro_http_errors_total`` for 4xx/5xx) and observes
@@ -49,18 +55,30 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.catalog import Catalog
 from repro.errors import ReproError
-from repro.obs import REGISTRY, TRACER
-from repro.obs.export import service_metric_families
+from repro.obs import JOURNAL, REGISTRY, TRACER
+from repro.obs.effort import record_route_effort
+from repro.obs.export import (
+    KNOWN_ROUTES,
+    bounded_route,
+    service_metric_families,
+)
 from repro.obs.metrics import render_families
 from repro.service.session import AssignmentSession
 
 MAX_BODY_BYTES = 1_048_576
 
-#: Routes used as metric label values; anything else is labeled "other"
-#: so arbitrary request paths cannot blow up label cardinality.
-KNOWN_ROUTES = frozenset(
-    {"/assignments", "/grade", "/witness", "/stats", "/healthz", "/metrics"}
-)
+__all__ = [
+    "CacheSpiller",
+    "HintRequestHandler",
+    "HintService",
+    "KNOWN_ROUTES",  # re-exported from repro.obs.export (canonical home)
+    "MAX_BODY_BYTES",
+    "ServiceError",
+    "bounded_route",
+    "http_stats",
+    "make_server",
+    "serve",
+]
 
 _HTTP_REQUESTS = REGISTRY.counter(
     "repro_http_requests_total",
@@ -197,6 +215,10 @@ class CacheSpiller:
         self.path = path
         self.interval = interval
         self.spills = 0  # completed (non-skipped) spills
+        self.skipped_idle = 0  # spills skipped because the cache was clean
+        self.last_duration_ms = 0.0
+        self.last_bytes = 0
+        self.last_entries = 0
         self._stop = threading.Event()
         self._last_marker = self._marker()
         self._thread = threading.Thread(
@@ -237,13 +259,45 @@ class CacheSpiller:
 
     def spill(self):
         """Write a snapshot now (if dirty); returns entries written."""
+        import os
+
         marker = self._marker()
         if marker == self._last_marker:
+            self.skipped_idle += 1
+            JOURNAL.record("spill.idle", skipped=self.skipped_idle)
             return 0
+        JOURNAL.record("spill.start", size=marker[0])
+        started = time.perf_counter()
         count = self.cache.save(self.path)
+        self.last_duration_ms = round(
+            (time.perf_counter() - started) * 1000.0, 3
+        )
+        try:
+            self.last_bytes = os.path.getsize(self.path)
+        except OSError:  # pragma: no cover - racing file removal
+            self.last_bytes = 0
+        self.last_entries = count
         self._last_marker = marker
         self.spills += 1
+        JOURNAL.record(
+            "spill.end",
+            entries=count,
+            bytes=self.last_bytes,
+            duration_ms=self.last_duration_ms,
+        )
         return count
+
+    def stats(self):
+        """The ``spill`` block of ``GET /stats``."""
+        return {
+            "count": self.spills,
+            "skipped_idle": self.skipped_idle,
+            "last_duration_ms": self.last_duration_ms,
+            "last_bytes": self.last_bytes,
+            "last_entries": self.last_entries,
+            "interval": self.interval,
+            "path": str(self.path),
+        }
 
 
 class HintRequestHandler(BaseHTTPRequestHandler):
@@ -274,8 +328,19 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         if status >= 400:
             _HTTP_ERRORS.inc(route=route, status=str(status))
         started = getattr(self, "_started", None)
-        if started is not None:
-            _HTTP_LATENCY.observe(time.perf_counter() - started, route=route)
+        elapsed = (
+            time.perf_counter() - started if started is not None else None
+        )
+        if elapsed is not None:
+            _HTTP_LATENCY.observe(elapsed, route=route)
+        JOURNAL.record(
+            "http.finish",
+            route=route,
+            status=status,
+            ms=round(elapsed * 1000.0, 3) if elapsed is not None else None,
+        )
+        if status >= 400:
+            JOURNAL.record("http.error", route=route, status=status)
 
     def _content_length(self):
         """Parse Content-Length, or None when absent.
@@ -354,6 +419,18 @@ class HintRequestHandler(BaseHTTPRequestHandler):
             }
         except Exception as error:  # pragma: no cover - defensive
             status, payload = 500, {"error": f"internal error: {error}"}
+            # The flight recording explains the crash; dump it into the
+            # server log next to where the traceback would land.
+            JOURNAL.record(
+                "http.exception",
+                route=getattr(self, "_route", "other"),
+                kind=type(error).__name__,
+                error=str(error),
+            )
+            JOURNAL.dump(
+                reason=f"unhandled {type(error).__name__} on "
+                f"{getattr(self, '_route', 'other')}"
+            )
         self._send_json(status, payload)
 
     # -- routes ---------------------------------------------------------
@@ -373,7 +450,10 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         exceeds the threshold.
         """
         self._started = time.perf_counter()
-        self._route = self.path if self.path in KNOWN_ROUTES else "other"
+        # Cardinality guard: the metric/journal route label comes from the
+        # bounded set, query string stripped, no matter what was requested.
+        self._route = bounded_route(self.path)
+        JOURNAL.record("http.start", method=method, route=self._route)
         slow_ms = getattr(self.server, "slow_ms", None)
         if slow_ms is None:
             self._route_request(method)
@@ -388,24 +468,34 @@ class HintRequestHandler(BaseHTTPRequestHandler):
             ]
             lines.extend(f"  {line}" for line in handle.render())
             print("\n".join(lines), file=sys.stderr)
+            JOURNAL.record(
+                "http.slow",
+                route=self._route,
+                ms=round(handle.duration_ms, 3),
+                trace_id=handle.trace_id,
+                spans=len(handle.spans),
+            )
 
     def _route_request(self, method):
+        path, _, query = self.path.partition("?")
         if method == "POST":
-            if self.path == "/assignments":
+            if path == "/assignments":
                 self._dispatch(self._post_assignment)
-            elif self.path == "/grade":
+            elif path == "/grade":
                 self._dispatch(self._post_grade)
-            elif self.path == "/witness":
+            elif path == "/witness":
                 self._dispatch(self._post_witness)
             else:
                 self._drain_body()
                 self._send_json(404, {"error": f"no such route {self.path}"})
         else:
-            if self.path == "/stats":
+            if path == "/stats":
                 self._dispatch(self._get_stats)
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 self._get_metrics()
-            elif self.path == "/healthz":
+            elif path == "/debug/journal":
+                self._dispatch(lambda: self._get_journal(query))
+            elif path == "/healthz":
                 self._drain_body()
                 self._send_json(200, {"ok": True})
             else:
@@ -446,15 +536,22 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         # witness_text needs a witness to anchor to, so it implies one.
         witness = bool(payload.get("witness", False)) or witness_text
         want_trace = bool(payload.get("trace", False))
+        want_effort = bool(payload.get("effort", False))
         session = self.server.service.session(assignment_id)
         trace_dict = None
+        # Effort is always measured (two counter-dict copies) so the
+        # per-route /metrics aggregation sees every grade; the response
+        # carries the delta only on "effort": true requests.
         if want_trace:
             with TRACER.trace("grade", assignment=assignment_id) as handle:
-                result = session.grade(sql, witness=witness)
+                result = session.grade(sql, witness=witness, effort=True)
             trace_dict = handle.to_dict()
         else:
-            result = session.grade(sql, witness=witness)
+            result = session.grade(sql, witness=witness, effort=True)
+        record_route_effort(self._route, result.effort)
         body = result.to_dict(show_fixes=show_fixes)
+        if not want_effort:
+            body.pop("effort", None)
         body["assignment_id"] = assignment_id
         body["text"] = result.text(
             show_fixes=show_fixes, witness_text=witness_text
@@ -470,7 +567,8 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         assignment_id = self._require(payload, "assignment_id")
         sql = self._require(payload, "sql")
         session = self.server.service.session(assignment_id)
-        result = session.grade(sql, witness=True)
+        result = session.grade(sql, witness=True, effort=True)
+        record_route_effort(self._route, result.effort)
         return 200, {
             "assignment_id": assignment_id,
             "all_passed": result.all_passed,
@@ -486,7 +584,23 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         self._drain_body()
         stats = self.server.service.stats()
         stats["http"] = http_stats()
+        spiller = getattr(self.server, "spiller", None)
+        if spiller is not None:
+            stats["spill"] = spiller.stats()
         return 200, stats
+
+    def _get_journal(self, query):
+        """``GET /debug/journal?n=K``: the flight recorder's tail as JSON."""
+        self._drain_body()
+        n = None
+        for part in query.split("&"):
+            key, _, value = part.partition("=")
+            if key == "n":
+                try:
+                    n = max(0, int(value))
+                except ValueError:
+                    raise ServiceError(400, "n must be an integer")
+        return 200, {"journal": JOURNAL.stats(), "events": JOURNAL.tail(n)}
 
     def _get_metrics(self):
         """Prometheus text exposition: registry metrics plus the
@@ -506,17 +620,21 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         )
 
 
-def make_server(host="127.0.0.1", port=0, service=None, slow_ms=None):
+def make_server(host="127.0.0.1", port=0, service=None, slow_ms=None,
+                spiller=None):
     """Build (but do not start) the threading HTTP server.
 
     ``port=0`` binds an ephemeral port (tests); the bound address is on
     ``server.server_address``.  ``slow_ms`` enables per-request tracing
     with slow-request logging (see :class:`HintRequestHandler._handle`).
+    ``spiller`` is exposed on the server so ``GET /stats`` can report the
+    ``spill`` block (the caller still owns start/stop).
     """
     server = ThreadingHTTPServer((host, port), HintRequestHandler)
     server.daemon_threads = True
     server.service = service or HintService()
     server.slow_ms = slow_ms
+    server.spiller = spiller
     return server
 
 
@@ -530,11 +648,12 @@ def serve(host="127.0.0.1", port=8100, service=None, quiet=False,
     its rendered span tree.
     """
     HintRequestHandler.quiet = quiet
-    server = make_server(host, port, service, slow_ms=slow_ms)
+    server = make_server(host, port, service, slow_ms=slow_ms,
+                         spiller=spiller)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro hint service listening on http://{bound_host}:{bound_port}")
     print("routes: POST /assignments  POST /grade  POST /witness  "
-          "GET /stats  GET /metrics  GET /healthz")
+          "GET /stats  GET /metrics  GET /healthz  GET /debug/journal")
     if spiller is not None:
         spiller.start()
         print(f"cache spill every {spiller.interval:g}s -> {spiller.path}")

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.core.hints import Hint
 from repro.core.pipeline import QrHint
 from repro.obs import REGISTRY, TRACER
+from repro.obs.effort import effort_delta, effort_snapshot
 from repro.query import ResolvedQuery
 from repro.service.cache import (
     ArtifactCache,
@@ -116,6 +117,10 @@ class GradeResult:
     #: disabled every rendering below is byte-identical to pre-witness
     #: behaviour.
     witness: object = None
+    #: Solver-effort counter delta for serving this submission (dict of
+    #: ints), or None.  Only populated on ``effort=True`` requests; the
+    #: default rendering below is byte-identical without it.
+    effort: object = None
 
     @property
     def hints(self):
@@ -166,6 +171,8 @@ class GradeResult:
         }
         if self.witness is not None:
             payload["witness"] = witness_to_dict(self.witness)
+        if self.effort is not None:
+            payload["effort"] = dict(self.effort)
         return payload
 
 
@@ -333,7 +340,7 @@ class AssignmentSession:
         inverse = {canon: orig for orig, canon in mapping.items()}
         return canonical, inverse
 
-    def grade(self, submission, witness=False, _prepared=None):
+    def grade(self, submission, witness=False, effort=False, _prepared=None):
         """Grade one submission; returns a :class:`GradeResult`.
 
         Parse/resolution errors propagate as :class:`repro.errors.ReproError`.
@@ -345,10 +352,15 @@ class AssignmentSession:
         Witnesses are cached in the same artifact cache as reports, keyed
         by ``("witness", canonical form)``, so duplicate and
         alpha-equivalent submissions share one generation run.
+
+        With ``effort=True`` the result carries the solver-effort counter
+        delta for serving this request (an artifact-cache hit burns no
+        solver work, so its delta is all zeros).
         """
         start = time.perf_counter()
         sql = submission if isinstance(submission, str) else submission.to_sql()
         with TRACER.span("session.grade") as span, self.lock:
+            effort_before = effort_snapshot(self.solver) if effort else None
             canonical, inverse = _prepared or self.prepare(submission)
             report = self.cache.get(canonical)
             cached = report is not None
@@ -358,6 +370,11 @@ class AssignmentSession:
             witness_obj = None
             if witness and not report.all_passed:
                 witness_obj = self.witness_canonical(canonical)
+            effort_spent = (
+                effort_delta(effort_before, effort_snapshot(self.solver))
+                if effort
+                else None
+            )
             self.submissions += 1
             elapsed = time.perf_counter() - start
             self.elapsed_total += elapsed
@@ -392,6 +409,7 @@ class AssignmentSession:
             pipeline_elapsed=report.elapsed,
             elapsed=elapsed,
             witness=witness_obj,
+            effort=effort_spent,
         )
 
     def witness_canonical(self, canonical):

@@ -79,6 +79,11 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 
+from repro.obs.journal import CHRONO_SAMPLE, JOURNAL as _JOURNAL
+
+#: Mask form of the chrono-event sampling period (power of two).
+_CHRONO_MASK = CHRONO_SAMPLE - 1
+
 _ACTIVITY_DECAY = 0.95
 _ACTIVITY_LIMIT = 1e100
 
@@ -536,6 +541,12 @@ class SatSolver:
             stats = self.stats
             stats["propagations"] += 1
             stats["chrono_backtracks"] += 1
+            if not stats["chrono_backtracks"] & _CHRONO_MASK:
+                _JOURNAL.record(
+                    "solver.chrono",
+                    backtracks=stats["chrono_backtracks"],
+                    propagations=stats["propagations"],
+                )
         else:
             # Several literals of the deepest level are now unassigned:
             # any two of them are valid watches.
@@ -802,6 +813,12 @@ class SatSolver:
                     trail.append(unit_lit)
                     propagated += 1
                     stats["chrono_backtracks"] += 1
+                    if not stats["chrono_backtracks"] & _CHRONO_MASK:
+                        _JOURNAL.record(
+                            "solver.chrono",
+                            backtracks=stats["chrono_backtracks"],
+                            propagations=stats["propagations"],
+                        )
                     continue
                 self._act_inc /= _ACTIVITY_DECAY
                 conflicts_here += 1
@@ -814,6 +831,12 @@ class SatSolver:
                     # below the backjump level).
                     backjump = level - 1
                     stats["chrono_backtracks"] += 1
+                    if not stats["chrono_backtracks"] & _CHRONO_MASK:
+                        _JOURNAL.record(
+                            "solver.chrono",
+                            backtracks=stats["chrono_backtracks"],
+                            propagations=stats["propagations"],
+                        )
                 self._backtrack(backjump)
                 self._learn(learned, lbd)
                 continue
@@ -826,6 +849,12 @@ class SatSolver:
                 )
             ):
                 stats["restarts"] += 1
+                _JOURNAL.record(
+                    "solver.restart",
+                    restarts=stats["restarts"],
+                    conflicts=stats["conflicts"],
+                    learned=len(self._learned_refs),
+                )
                 self._luby_index += 1
                 restart_limit = 2 * self.restart_base * _luby(self._luby_index)
                 self._restart_limit = restart_limit
@@ -1271,6 +1300,12 @@ class SatSolver:
                             write += 2
                     del watchers[write:]
             self.stats["deleted_clauses"] += len(deleted)
+            _JOURNAL.record(
+                "solver.reduce_db",
+                deleted=len(deleted),
+                kept=len(kept),
+                total_deleted=self.stats["deleted_clauses"],
+            )
         self._max_learned = int(self._max_learned * self._reduce_growth) + 1
 
     # ------------------------------------------------------------------

@@ -115,6 +115,7 @@ class Solver:
             "theory_cache_hits": 0,
             "learned_clauses": 0,
             "propagations": 0,
+            "conflicts": 0,
             "restarts": 0,
             "clauses_deleted": 0,
             "literals_minimized": 0,
@@ -328,6 +329,7 @@ class Solver:
         stats = self.stats
         stats["learned_clauses"] += sat_stats["learned_clauses"]
         stats["propagations"] += sat_stats["propagations"]
+        stats["conflicts"] += sat_stats["conflicts"]
         stats["restarts"] += sat_stats["restarts"]
         stats["clauses_deleted"] += sat_stats["deleted_clauses"]
         stats["literals_minimized"] += sat_stats["minimized_literals"]

@@ -34,7 +34,7 @@ from repro.engine.database import Database
 from repro.engine.executor import execute
 from repro.errors import SolverLimitError
 from repro.logic.formulas import conj
-from repro.obs import TRACER
+from repro.obs import JOURNAL, TRACER
 from repro.solver import Solver
 from repro.witness.divergence import divergence_formula, emits_single_row
 from repro.witness.instance import build_instance, guided_generator
@@ -304,6 +304,11 @@ def _generate_witness(
     if chosen is None:
         # The search generator draws at most max_rows_per_table rows per
         # table, so its shrunk candidates always fit the cap.
+        JOURNAL.record(
+            "witness.fallback",
+            trials=trials,
+            unified=unified is not None,
+        )
         generator = guided_generator(
             catalog, (working, exec_target), seed=seed,
             max_rows=max_rows_per_table,

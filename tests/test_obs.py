@@ -388,3 +388,279 @@ class TestTracedGrading:
     def test_untraced_batch_has_no_traces(self):
         batch = grade_batch(catalog(), TARGET, [WRONG], processes=1)
         assert batch.traces == []
+
+
+# ---------------------------------------------------------------------------
+# Adopt edge cases
+
+
+class TestAdoptEdgeCases:
+    def test_empty_payloads_adopt_zero_spans(self):
+        with TRACER.trace("parent") as parent:
+            assert TRACER.adopt({}) == 0
+            assert TRACER.adopt(None) == 0
+            assert TRACER.adopt({"wall_start": None, "spans": []}) == 0
+            assert TRACER.adopt({"spans": None}) == 0
+        # The parent trace survives uncorrupted.
+        d = parent.to_dict()
+        assert [s["name"] for s in d["spans"]] == ["parent"]
+
+    def test_worker_started_before_parent_clamps_offset(self):
+        # A worker whose wall clock reads *earlier* than the parent's
+        # trace start (clock skew, or a long-lived worker pool) must not
+        # push spans to negative start times.
+        with TRACER.trace("worker-side") as worker:
+            with TRACER.span("work"):
+                pass
+        serialized = worker.to_dict()
+        serialized["wall_start"] = 0.0  # epoch: long before the parent
+        with TRACER.trace("parent") as parent:
+            assert TRACER.adopt(serialized) == 2
+        adopted = [s for s in parent.to_dict()["spans"]
+                   if s["name"] in ("worker-side", "work")]
+        assert len(adopted) == 2
+        for span in adopted:
+            assert span["start_ms"] >= 0.0
+            assert span["duration_ms"] >= 0.0
+
+    def test_missing_wall_start_rebases_to_parent_zero(self):
+        with TRACER.trace("worker-side") as worker:
+            with TRACER.span("work"):
+                pass
+        serialized = worker.to_dict()
+        serialized.pop("wall_start", None)
+        with TRACER.trace("parent") as parent:
+            assert TRACER.adopt(serialized) == 2
+        by_name = {s["name"]: s for s in parent.to_dict()["spans"]}
+        assert by_name["work"]["parent"] == by_name["worker-side"]["id"]
+        assert by_name["work"]["start_ms"] >= 0.0
+
+    def test_negative_span_fields_clamped(self):
+        with TRACER.trace("worker-side") as worker:
+            with TRACER.span("work"):
+                pass
+        serialized = worker.to_dict()
+        for span in serialized["spans"]:
+            span["start_ms"] = -5.0
+            span["duration_ms"] = None
+        with TRACER.trace("parent") as parent:
+            TRACER.adopt(serialized)
+        adopted = [s for s in parent.to_dict()["spans"]
+                   if s["name"] in ("worker-side", "work")]
+        for span in adopted:
+            assert span["start_ms"] >= 0.0
+            assert span["duration_ms"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Registry merge under concurrent workers
+
+
+class TestConcurrentMerge:
+    def test_three_worker_deltas_merge_consistently(self):
+        from repro.obs import MetricsRegistry
+
+        parent = MetricsRegistry()
+        parent.histogram("repro_grade_seconds", "grade latency", ("cached",))
+        parent.counter("repro_grades_total", "grades", ("cached",))
+        observations = {0: [0.001, 0.5, 2.0], 1: [0.002, 0.25], 2: [4.0]}
+
+        def worker(worker_id):
+            registry = MetricsRegistry()
+            before = registry.snapshot()
+            hist = registry.histogram(
+                "repro_grade_seconds", "grade latency", ("cached",)
+            )
+            count = registry.counter(
+                "repro_grades_total", "grades", ("cached",)
+            )
+            for value in observations[worker_id]:
+                hist.observe(value, cached="false")
+                count.inc(cached="false")
+            return snapshot_delta(before, registry.snapshot())
+
+        deltas = [worker(i) for i in range(3)]
+        threads = [
+            threading.Thread(target=parent.merge, args=(delta,))
+            for delta in deltas
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = sum(len(v) for v in observations.values())
+        snap = parent.snapshot()
+        (hist_series,) = snap["repro_grade_seconds"]["values"]
+        (counter_series,) = snap["repro_grades_total"]["values"]
+        assert counter_series[0] == ["false"] and counter_series[1] == total
+        bucket_counts, observed_sum = hist_series[1]
+        # Every worker observation landed in exactly one bucket, and the
+        # merged sum is the exact sum of all worker observations.
+        assert sum(bucket_counts) == total
+        assert observed_sum == pytest.approx(
+            sum(sum(v) for v in observations.values())
+        )
+        # Bucket counts are cumulative-consistent: monotone after a
+        # cumulative sweep, and the +Inf bucket equals _count.
+        families = parse_prometheus_text(parent.render())
+        assert families["repro_grade_seconds"]["kind"] == "histogram"
+
+    def test_merged_batch_worker_deltas_are_count_consistent(self):
+        # End to end: a multiprocess batch merges real worker deltas into
+        # the parent registry.  Each of the 3 unique forms runs the
+        # pipeline once in some worker, so the merged stage-latency
+        # histogram must gain exactly 3 observations per executed stage
+        # -- sum-of-buckets (which includes +Inf) agreeing with _count.
+        from repro.obs import REGISTRY
+
+        subs = [
+            WRONG,
+            "SELECT beer FROM Serves WHERE price < 2",
+            "SELECT bar FROM Serves WHERE price > 99",
+        ]
+        before = REGISTRY.snapshot()
+        grade_batch(catalog(), TARGET, subs, processes=3)
+        delta = snapshot_delta(before, REGISTRY.snapshot())
+        stage_series = delta["repro_stage_seconds"]["values"]
+        assert stage_series, "no merged stage observations"
+        by_stage = {tuple(labels): value for labels, value in stage_series}
+        for labels, (bucket_counts, observed_sum) in by_stage.items():
+            assert sum(bucket_counts) == 3, labels
+            assert observed_sum >= 0.0
+        # Every SPJ stage the pipeline executed is represented.
+        stages = {labels[0] for labels in by_stage}
+        assert {"FROM", "WHERE", "SELECT"} <= stages
+
+
+# ---------------------------------------------------------------------------
+# Solver-effort attribution
+
+
+class TestEffortUnits:
+    def test_delta_orders_effort_keys_first(self):
+        from repro.obs import EFFORT_KEYS, effort_delta
+
+        before = {"sat_calls": 2, "propagations": 10, "custom": 1}
+        after = {"sat_calls": 5, "propagations": 25, "custom": 4}
+        delta = effort_delta(before, after)
+        assert delta["sat_calls"] == 3
+        assert delta["propagations"] == 15
+        assert delta["custom"] == 3
+        ordered = list(delta)
+        assert ordered.index("sat_calls") < ordered.index("custom")
+        assert [k for k in ordered if k in EFFORT_KEYS] == [
+            k for k in EFFORT_KEYS if k in delta
+        ]
+
+    def test_snapshot_filters_non_ints(self):
+        from repro.obs import effort_snapshot
+        from repro.solver import Solver
+
+        snap = effort_snapshot(Solver())
+        assert all(isinstance(v, int) for v in snap.values())
+        assert "sat_calls" in snap
+        assert "cache_hit_rate" not in snap
+
+    def test_meter_and_merge(self):
+        from repro.obs import EffortMeter, merge_effort
+        from repro.logic.formulas import Comparison
+        from repro.logic.terms import const, intvar
+        from repro.solver import Solver
+
+        solver = Solver()
+        formula = Comparison("<", intvar("x"), const(3))
+        with EffortMeter(solver) as meter:
+            solver.find_model(formula)
+        assert meter.delta["sat_calls"] >= 1
+        total = merge_effort({}, meter.delta)
+        merge_effort(total, meter.delta)
+        assert total["sat_calls"] == 2 * meter.delta["sat_calls"]
+
+    def test_mean_effort_rounds_per_delta(self):
+        from repro.obs import mean_effort
+
+        deltas = [{"sat_calls": 1, "propagations": 10},
+                  {"sat_calls": 2},
+                  {"sat_calls": 3, "propagations": 5}]
+        means = mean_effort(deltas)
+        assert means["sat_calls"] == 2.0
+        # Absent keys count as zero contribution over ALL deltas.
+        assert means["propagations"] == 5.0
+        assert mean_effort([]) == {}
+
+    def test_record_route_effort_bounded_labels(self):
+        from repro.obs import MetricsRegistry, record_route_effort
+
+        registry = MetricsRegistry()
+        counter = record_route_effort(
+            "/grade", {"sat_calls": 4, "propagations": 0, "bogus": 9},
+            registry=registry,
+        )
+        assert counter.value(route="/grade", counter="sat_calls") == 4
+        # Zero-valued and non-EFFORT_KEYS counters are never emitted.
+        assert counter.value(route="/grade", counter="propagations") == 0
+        assert counter.value(route="/grade", counter="bogus") == 0
+
+
+class TestEffortAttribution:
+    def test_grade_effort_opt_in(self):
+        session = AssignmentSession(catalog(), TARGET)
+        plain = session.grade(WRONG)
+        assert plain.effort is None
+        assert "effort" not in plain.to_dict()
+
+        session = AssignmentSession(catalog(), TARGET)
+        measured = session.grade(WRONG, effort=True)
+        assert measured.effort is not None
+        assert measured.effort["sat_calls"] >= 1
+        assert measured.to_dict()["effort"] == measured.effort
+
+    def test_effort_field_does_not_change_grading(self):
+        a = AssignmentSession(catalog(), TARGET).grade(WRONG)
+        b = AssignmentSession(catalog(), TARGET).grade(WRONG, effort=True)
+        assert a.stage_hints == b.stage_hints
+        assert a.text() == b.text()
+
+    def test_cached_grade_measures_zero_effort(self):
+        session = AssignmentSession(catalog(), TARGET)
+        session.grade(WRONG, effort=True)
+        cached = session.grade(WRONG, effort=True)
+        assert cached.cached
+        assert all(v == 0 for v in cached.effort.values())
+
+    def test_stage_spans_carry_effort_when_traced(self):
+        session = AssignmentSession(catalog(), TARGET)
+        with TRACER.trace("grade-with-effort") as handle:
+            session.grade(WRONG)
+        stage_spans = [
+            s for s in handle.to_dict()["spans"]
+            if s["name"].startswith("stage.")
+        ]
+        assert stage_spans
+        assert all("effort" in s["attrs"] for s in stage_spans)
+        where = [s for s in stage_spans if s["name"] == "stage.WHERE"]
+        assert where and where[0]["attrs"]["effort"].get("sat_calls", 0) >= 1
+        # Effort attrs only list nonzero counters (compact JSON).
+        for span in stage_spans:
+            assert all(v for v in span["attrs"]["effort"].values())
+
+    @pytest.mark.parametrize("processes", [1, 2])
+    def test_batch_effort_per_form(self, processes):
+        from repro.obs import EFFORT_KEYS
+
+        subs = [WRONG, WRONG, "SELECT beer FROM Serves WHERE price < 2"]
+        batch = grade_batch(
+            catalog(), TARGET, subs, processes=processes, effort=True
+        )
+        efforts = [r.effort for r in batch.results]
+        assert all(e is not None for e in efforts)
+        assert all(set(EFFORT_KEYS) <= set(e) for e in efforts)
+        # Duplicate submissions share their unique form's grading delta.
+        assert efforts[0] == efforts[1]
+        assert efforts[0]["sat_calls"] >= 1
+        assert efforts[2]["sat_calls"] >= 1
+
+    def test_batch_without_effort_leaves_field_none(self):
+        batch = grade_batch(catalog(), TARGET, [WRONG], processes=1)
+        assert batch.results[0].effort is None

@@ -1,0 +1,270 @@
+"""Tests for the unified perf-regression sentinel (repro.obs.baseline)."""
+
+import json
+
+import pytest
+
+from repro.obs.baseline import (
+    BENCHMARKS,
+    Benchmark,
+    Metric,
+    PerfDiff,
+    compare,
+    infer_bench,
+    load_committed,
+    parse_gate,
+    perfdiff,
+    repo_root,
+    resolve_paths,
+)
+
+
+class TestParseGate:
+    @pytest.mark.parametrize("text,expected", [
+        ("0.5x", 0.5), ("0.5", 0.5), ("0.75X", 0.75), ("1x", 1.0),
+        (" 0.9x ", 0.9),
+    ])
+    def test_accepts(self, text, expected):
+        assert parse_gate(text) == expected
+
+    @pytest.mark.parametrize("text", ["0", "0x", "1.5x", "-0.5", "fast"])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_gate(text)
+
+
+class TestResolvePaths:
+    DOC = {
+        "kernels": {
+            "b": {"ops_per_sec": 2.0},
+            "a": {"ops_per_sec": 1.0, "models_per_sec": 9.0},
+        },
+        "flat": 7,
+    }
+
+    def test_plain_path(self):
+        assert resolve_paths(self.DOC, "flat") == [("flat", 7)]
+
+    def test_wildcard_fans_out_sorted(self):
+        assert resolve_paths(self.DOC, "kernels.*.ops_per_sec") == [
+            ("kernels.a.ops_per_sec", 1.0),
+            ("kernels.b.ops_per_sec", 2.0),
+        ]
+
+    def test_missing_segments_yield_nothing(self):
+        assert resolve_paths(self.DOC, "kernels.c.ops_per_sec") == []
+        assert resolve_paths(self.DOC, "flat.deeper") == []
+
+
+SPEC = Benchmark(
+    name="fake",
+    filename="BENCH_fake.json",
+    command=("true",),
+    metrics=(
+        Metric("speed"),
+        Metric("floor", min_ratio=0.9, noise=0.0),
+        Metric("invariant", direction="exact"),
+        Metric("overhead", direction="bound_max", bound=0.02),
+        Metric("tracked", gated=False),
+    ),
+)
+
+
+def one(committed, fresh, path):
+    results = [r for r in compare(SPEC, committed, fresh) if r.path == path]
+    assert len(results) == 1
+    return results[0]
+
+
+class TestCompareVerdicts:
+    def test_higher_within_noise_is_ok(self):
+        r = one({"speed": 100.0}, {"speed": 95.0}, "speed")
+        assert r.status == "ok" and r.ratio == 0.95
+
+    def test_higher_improved_beyond_noise(self):
+        assert one({"speed": 100.0}, {"speed": 130.0}, "speed").status == \
+            "improved"
+
+    def test_higher_slower_between_gate_and_noise(self):
+        r = one({"speed": 100.0}, {"speed": 70.0}, "speed")
+        assert r.status == "slower" and not r.failed
+
+    def test_higher_fails_below_gate(self):
+        r = one({"speed": 100.0}, {"speed": 40.0}, "speed")
+        assert r.status == "fail" and r.failed
+
+    def test_min_ratio_overrides_global_gate(self):
+        # Above the 0.9 floor but below committed with a zero noise
+        # band: visible as slower, not a hard failure.
+        r = one({"floor": 1.0}, {"floor": 0.95}, "floor")
+        assert r.status == "slower" and not r.failed
+        assert one({"floor": 1.0}, {"floor": 0.85}, "floor").status == "fail"
+
+    def test_exact_must_match(self):
+        assert one({"invariant": True}, {"invariant": True},
+                   "invariant").status == "ok"
+        r = one({"invariant": True}, {"invariant": False}, "invariant")
+        assert r.status == "fail" and "invariant" in r.detail
+
+    def test_bound_max_is_absolute(self):
+        assert one({"overhead": 0.01}, {"overhead": 0.015},
+                   "overhead").status == "ok"
+        # Committed value is irrelevant: only the budget counts.
+        assert one({"overhead": 0.001}, {"overhead": 0.03},
+                   "overhead").status == "fail"
+
+    def test_ungated_regression_reports_slower_not_fail(self):
+        r = one({"tracked": 100.0}, {"tracked": 10.0}, "tracked")
+        assert r.status == "slower" and not r.failed
+
+    def test_absent_side_is_skipped_never_fatal(self):
+        results = compare(SPEC, {"speed": 100.0, "invariant": True}, {})
+        by_path = {r.path: r for r in results}
+        assert by_path["speed"].status == "skipped"
+        assert by_path["invariant"].status == "skipped"
+        assert not any(r.failed for r in results)
+        assert "absent from fresh run" in by_path["speed"].detail
+
+    def test_fresh_only_metric_also_skipped(self):
+        results = compare(SPEC, {}, {"speed": 50.0})
+        assert [r.status for r in results if r.path == "speed"] == ["skipped"]
+
+    def test_non_numeric_higher_skipped(self):
+        assert one({"speed": "fast"}, {"speed": 2.0}, "speed").status == \
+            "skipped"
+
+    def test_wildcard_mismatch_between_sides(self):
+        spec = Benchmark(
+            name="w", filename="w.json", command=("true",),
+            metrics=(Metric("scenarios.*.speedup", noise=0.3),),
+        )
+        committed = {"scenarios": {"a": {"speedup": 10.0},
+                                   "b": {"speedup": 8.0}}}
+        fresh = {"scenarios": {"a": {"speedup": 9.0}}}
+        by_path = {r.path: r for r in compare(spec, committed, fresh)}
+        assert by_path["scenarios.a.speedup"].status == "ok"
+        assert by_path["scenarios.b.speedup"].status == "skipped"
+
+
+class TestPerfDiffReport:
+    def _diff(self):
+        diff = PerfDiff(gate=0.5)
+        diff.results = compare(SPEC, {"speed": 100.0}, {"speed": 40.0})
+        return diff
+
+    def test_failed_on_fail_result_or_error(self):
+        assert self._diff().failed
+        clean = PerfDiff(gate=0.5)
+        assert not clean.failed
+        clean.errors["solver"] = "boom"
+        assert clean.failed
+
+    def test_render_ends_with_verdict_line(self):
+        lines = self._diff().render()
+        assert lines[-1].startswith("perfdiff FAIL (gate 0.5x)")
+        ok = PerfDiff(gate=0.5)
+        ok.results = compare(SPEC, {"speed": 100.0}, {"speed": 100.0})
+        assert ok.render()[-1].startswith("perfdiff PASS")
+
+    def test_to_dict_json_safe_with_counts(self):
+        payload = json.loads(json.dumps(self._diff().to_dict()))
+        assert payload["passed"] is False
+        assert payload["counts"] == {"fail": 1}
+        assert payload["results"][0]["path"] == "speed"
+
+
+class TestRegistry:
+    def test_all_five_benchmarks_registered(self):
+        assert sorted(BENCHMARKS) == [
+            "corpus", "obs", "service", "solver", "witness",
+        ]
+
+    def test_committed_files_resolve_every_gated_path(self):
+        # Each committed BENCH file must actually contain the metrics the
+        # sentinel gates on -- a renamed JSON key would otherwise turn
+        # the gate into a silent skip.
+        for name, spec in BENCHMARKS.items():
+            doc = load_committed(name)
+            for metric in spec.metrics:
+                if metric.gated:
+                    assert resolve_paths(doc, metric.path), (
+                        f"{name}: no committed value at {metric.path}"
+                    )
+
+    def test_infer_bench_from_filenames(self):
+        for name, spec in BENCHMARKS.items():
+            assert infer_bench(f"/tmp/{spec.filename}") == name
+        with pytest.raises(ValueError):
+            infer_bench("results.json")
+
+    def test_repo_root_holds_committed_files(self):
+        for spec in BENCHMARKS.values():
+            assert (repo_root() / spec.filename).exists()
+
+
+class TestPerfdiffDriver:
+    def test_ingest_identical_run_passes(self):
+        doc = load_committed("obs")
+        diff = perfdiff(["obs"], fresh_docs={"obs": doc}, run=False)
+        assert not diff.failed
+        assert all(r.status in ("ok", "improved") for r in diff.results)
+
+    def test_no_run_without_fresh_doc_is_an_error(self):
+        diff = perfdiff(["solver"], run=False)
+        assert diff.failed
+        assert "no fresh run supplied" in diff.errors["solver"]
+
+    def test_missing_committed_file_is_an_error(self, tmp_path):
+        diff = perfdiff(["solver"], run=False, root=tmp_path)
+        assert diff.failed
+        assert "cannot load committed file" in diff.errors["solver"]
+
+
+class TestCli:
+    def test_list_prints_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["perfdiff", "--list"]) == 0
+        out = capsys.readouterr().out
+        for spec in BENCHMARKS.values():
+            assert spec.filename in out
+
+    def test_ingest_committed_copy_passes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = repo_root() / "BENCH_obs.json"
+        copy = tmp_path / "BENCH_obs.json"
+        copy.write_text(src.read_text())
+        code = main([
+            "perfdiff", "--ingest", str(copy), "--no-run",
+            "--json", str(tmp_path / "out" / "diff.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perfdiff PASS" in out
+        payload = json.loads((tmp_path / "out" / "diff.json").read_text())
+        assert payload["passed"] is True
+
+    def test_regressed_ingest_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = load_committed("obs")
+        doc["overhead"]["overhead"] = 0.5  # blow the 2% budget
+        bad = tmp_path / "BENCH_obs.json"
+        bad.write_text(json.dumps(doc))
+        assert main(["perfdiff", "--ingest", str(bad), "--no-run"]) == 1
+        assert "perfdiff FAIL" in capsys.readouterr().out
+
+    def test_bad_gate_and_unknown_bench_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["perfdiff", "--all", "--gate", "2x", "--no-run"]) == 2
+        assert main(["perfdiff", "--bench", "nope", "--no-run"]) == 2
+        err = capsys.readouterr().err
+        assert "gate" in err and "unknown benchmark" in err
+
+    def test_nothing_to_check_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["perfdiff"]) == 2
+        assert "nothing to check" in capsys.readouterr().err

@@ -969,3 +969,119 @@ class TestWitnessText:
         assert code == 0
         assert "On this database your query returns" in out
         assert "Counterexample instance" in out
+
+
+class TestRouteCardinality:
+    def test_bounded_route_passes_known_and_collapses_unknown(self):
+        from repro.service.server import KNOWN_ROUTES, bounded_route
+
+        for route in KNOWN_ROUTES:
+            assert bounded_route(route) == route
+        assert bounded_route("/etc/passwd") == "other"
+        assert bounded_route("/grade/../admin") == "other"
+        # Query strings are stripped before the bound check.
+        assert bounded_route("/stats?verbose=1") == "/stats"
+        assert bounded_route("/debug/journal?n=50") == "/debug/journal"
+
+    def test_scanned_paths_never_become_labels(self, client):
+        scans = ("/wp-admin.php", "/grade/extra", "/x?probe=1")
+        for path in scans:
+            status, _ = client.get(path)
+            assert status == 404
+        status, _, text = _get_text(client, "/metrics")
+        assert status == 200
+        for path in scans:
+            assert path.split("?", 1)[0] not in text
+        assert 'route="other"' in text
+
+
+class TestHttpEffort:
+    def _grade(self, client, **extra):
+        _, created = client.post(
+            "/assignments", {"schema": SCHEMA, "target_sql": TARGET}
+        )
+        return client.post("/grade", {
+            "assignment_id": created["assignment_id"],
+            "sql": WRONG,
+            **extra,
+        })
+
+    def test_effort_absent_by_default(self, client):
+        status, body = self._grade(client)
+        assert status == 200
+        assert "effort" not in body
+
+    def test_effort_opt_in_returns_counters(self, client):
+        status, body = self._grade(client, effort=True)
+        assert status == 200
+        assert body["effort"]["sat_calls"] >= 1
+        assert all(isinstance(v, int) for v in body["effort"].values())
+
+    def test_route_effort_metrics_always_aggregate(self, client):
+        before = _scrape(client)
+        key = {"route": "/grade", "counter": "sat_calls"}
+        self._grade(client)  # no effort opt-in on the request
+        after = _scrape(client)
+        assert (
+            _counter(after, "repro_solver_effort_total", **key)
+            > _counter(before, "repro_solver_effort_total", **key)
+        )
+
+
+class TestStatsSpill:
+    def test_stats_reports_spill_block_when_spilling(self, tmp_path):
+        from repro.service.server import CacheSpiller, HintService
+
+        service = HintService()
+        server = make_server(port=0, service=service)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = _Client(f"http://{host}:{port}")
+        try:
+            _, created = client.post(
+                "/assignments", {"schema": SCHEMA, "target_sql": TARGET}
+            )
+            aid = created["assignment_id"]
+            # No spiller configured: no spill block.
+            _, stats = client.get("/stats")
+            assert "spill" not in stats
+
+            session = service.session(aid)
+            spiller = CacheSpiller(
+                session.cache, str(tmp_path / "cache.json"), interval=3600
+            )
+            server.spiller = spiller
+            client.post("/grade", {"assignment_id": aid, "sql": WRONG})
+            spiller.spill()
+            spiller.spill()  # idle: cache unchanged since the last one
+            _, stats = client.get("/stats")
+            spill = stats["spill"]
+            assert spill["count"] == 1
+            assert spill["skipped_idle"] == 1
+            assert spill["last_entries"] >= 1
+            assert spill["last_bytes"] > 0
+            assert spill["last_duration_ms"] >= 0
+            assert spill["interval"] == 3600
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_spiller_journals_lifecycle_events(self, tmp_path, beers_catalog):
+        from repro.obs import JOURNAL
+        from repro.service.server import CacheSpiller
+
+        session = AssignmentSession(beers_catalog, TARGET)
+        path = tmp_path / "cache.json"
+        spiller = CacheSpiller(session.cache, str(path), interval=3600)
+        session.grade(WRONG)
+        JOURNAL.clear()
+        spiller.spill()
+        spiller.spill()
+        events = {e["kind"]: e for e in JOURNAL.tail()}
+        assert events["spill.start"]["size"] >= 1
+        end = events["spill.end"]
+        assert end["entries"] == spiller.last_entries
+        assert end["bytes"] == path.stat().st_size
+        assert end["duration_ms"] >= 0
+        assert events["spill.idle"]["skipped"] == 1
