@@ -82,6 +82,95 @@ def run_scenario(qid, count, seed, processes=None):
     }
 
 
+def run_overload(levels=(1, 4, 16), requests=40, max_inflight=2):
+    """Latency and shed rate against a live admission-controlled server.
+
+    Starts the HTTP service with ``max_inflight`` slots (no queue) and
+    offers ``requests`` unique grade requests per concurrency level --
+    unique WHERE constants, so every admitted request does real pipeline
+    work instead of hitting the artifact cache.  Reports p50/p99 latency
+    of the *served* requests and the shed rate per offered concurrency:
+    with bounded admission, saturating load must show up as 503s, not as
+    unbounded latency.
+    """
+    import statistics
+    import threading
+    import urllib.error
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import make_server
+    from repro.service.server import AdmissionController
+
+    server = make_server(
+        port=0,
+        admission=AdmissionController(max_inflight=max_inflight, max_queue=0),
+    )
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def post(path, payload):
+        request = urllib.request.Request(
+            base + path,
+            json.dumps(payload).encode(),
+            {"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                return resp.status
+        except urllib.error.HTTPError as error:
+            error.read()
+            return error.code
+
+    out = {}
+    try:
+        status = post("/assignments", {
+            "assignment_id": "overload",
+            "schema": {"Serves": [["bar", "STRING"], ["beer", "STRING"],
+                                  ["price", "FLOAT"]]},
+            "target_sql": "SELECT beer FROM Serves WHERE price > 2",
+        })
+        assert status == 201, status
+
+        def one(k):
+            started = time.perf_counter()
+            code = post("/grade", {
+                "assignment_id": "overload",
+                "sql": f"SELECT beer FROM Serves WHERE price >= {k}",
+            })
+            return code, (time.perf_counter() - started) * 1000.0
+
+        for offered in levels:
+            with ThreadPoolExecutor(max_workers=offered) as pool:
+                outcomes = list(pool.map(
+                    one, range(offered * 10_000, offered * 10_000 + requests)
+                ))
+            served = sorted(ms for code, ms in outcomes if code == 200)
+            shed = sum(1 for code, _ in outcomes if code == 503)
+            level = {
+                "offered": offered,
+                "requests": requests,
+                "served": len(served),
+                "shed": shed,
+                "shed_rate": round(shed / requests, 4),
+                "p50_ms": round(statistics.median(served), 2) if served
+                else None,
+                "p99_ms": round(
+                    served[min(len(served) - 1, int(0.99 * len(served)))], 2
+                ) if served else None,
+            }
+            out[f"c{offered}"] = level
+            print(f"overload c{offered}: served {level['served']}/{requests}"
+                  f" shed {shed} ({level['shed_rate']:.0%}),"
+                  f" p50 {level['p50_ms']}ms p99 {level['p99_ms']}ms")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return out
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser()
     parser.add_argument("--count", type=int, default=200,
@@ -110,6 +199,8 @@ def main(argv=None):
         scenarios["Q1"] = result
         print(f"Q1 (full): {result['speedup']}x")
 
+    overload = run_overload()
+
     headline = scenarios["Q4"]
     payload = {
         "benchmark": "service_throughput",
@@ -117,6 +208,7 @@ def main(argv=None):
         "cache_hit_rate": headline["cache_hit_rate"],
         "byte_identical": all(s["byte_identical"] for s in scenarios.values()),
         "scenarios": scenarios,
+        "overload": overload,
     }
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")

@@ -123,6 +123,12 @@ def build_parser():
         "generation) after the hints",
     )
     hint.add_argument(
+        "--timeout-ms", type=float, default=None, metavar="N",
+        help="time budget for the whole grading pipeline; on expiry the "
+        "finished stages are reported exactly and the unfinished stage "
+        "gets a coarse degraded hint instead of hanging",
+    )
+    hint.add_argument(
         "--solver-stats",
         action="store_true",
         help="print SAT/SMT solver counters (calls, cache hit-rate, learned "
@@ -186,6 +192,17 @@ def build_parser():
     )
     batch.add_argument(
         "--max-sites", type=int, default=2, help="repair-site cap (default 2)"
+    )
+    batch.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="treat a worker pool that makes no progress for SECONDS as "
+        "hung and re-grade the unfinished forms on fresh workers "
+        "(default: no hang detection; crash detection is always on)",
+    )
+    batch.add_argument(
+        "--max-retries", type=int, default=2,
+        help="isolated re-grade attempts per form after a worker crash "
+        "or hang before recording a per-submission error (default 2)",
     )
     batch.add_argument(
         "--witness", action="store_true",
@@ -284,6 +301,35 @@ def build_parser():
         "--slow-ms", type=float, default=None, metavar="N",
         help="trace every request and log those slower than N ms to "
         "stderr together with their span tree",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admit at most N concurrent work requests; excess load is "
+        "shed with 503 + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0, metavar="N",
+        help="let up to N shed-candidates wait briefly for a free slot "
+        "before 503 (default 0; needs --max-inflight)",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=1.0, metavar="SECONDS",
+        help="longest a queued request waits for a slot (default 1.0)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=None, metavar="SECONDS",
+        help="socket timeout for reading a request; stalled clients get "
+        "408 and their handler thread back (default: none)",
+    )
+    serve.add_argument(
+        "--max-timeout-ms", type=float, default=None, metavar="N",
+        help="cap (and default) for per-request timeout_ms grading "
+        "budgets (default: uncapped, no default budget)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on shutdown, wait up to SECONDS for in-flight requests to "
+        "finish before closing (default 10)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress access log")
     serve.set_defaults(func=cmd_serve)
@@ -386,6 +432,14 @@ def cmd_hint(args):
         working = parse_query_extended(
             _read_sql(args, "working", "working_sql", "working"), catalog
         )
+        deadline = None
+        if args.timeout_ms is not None:
+            if args.timeout_ms <= 0:
+                print("error: --timeout-ms must be positive", file=sys.stderr)
+                return EXIT_ERROR
+            from repro.service.deadline import Deadline
+
+            deadline = Deadline.after_ms(args.timeout_ms)
         with trace_cm as trace_handle:
             report = QrHint(
                 catalog,
@@ -394,6 +448,7 @@ def cmd_hint(args):
                 max_sites=args.max_sites,
                 optimized=not args.no_optimized,
                 solver=solver,
+                deadline=deadline,
             ).run()
             witness = None
             if args.witness_text and not report.all_passed:
@@ -417,7 +472,11 @@ def cmd_hint(args):
             witness_text=args.witness_text,
         )
     )
-    if args.verify and not report.all_passed:
+    if report.degraded:
+        print(f"(degraded: time budget exhausted in the "
+              f"{report.degraded_stage} stage; rerun with a larger "
+              f"--timeout-ms for an exact hint)")
+    if args.verify and not report.all_passed and not report.degraded:
         ok = appear_equivalent(
             report.final_query, report.target_query, catalog, trials=60
         )
@@ -544,6 +603,8 @@ def cmd_grade_batch(args):
             processes=args.processes,
             max_sites=args.max_sites,
             witness=args.witness,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -555,6 +616,10 @@ def cmd_grade_batch(args):
           f"in {stats['elapsed']:.2f}s "
           f"({stats['throughput']:.1f}/s, "
           f"cache hit-rate {stats['cache_hit_rate']:.0%})")
+    recoveries = stats.get("recoveries") or {}
+    if any(recoveries.values()):
+        print("worker recoveries: "
+              + ", ".join(f"{k}={v}" for k, v in recoveries.items() if v))
     if args.show_hints:
         for i, result in enumerate(batch.results):
             print(f"\n--- submission {i} ---")
@@ -714,8 +779,23 @@ def cmd_serve(args):
         spiller = CacheSpiller(
             session.cache, args.cache_file, args.cache_spill_interval
         )
+    admission = None
+    if args.max_inflight is not None:
+        if args.max_inflight <= 0:
+            print("error: --max-inflight must be positive", file=sys.stderr)
+            return EXIT_ERROR
+        from repro.service.server import AdmissionController
+
+        admission = AdmissionController(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            queue_timeout=args.queue_timeout,
+        )
     code = serve(args.host, args.port, service, quiet=args.quiet,
-                 spiller=spiller, slow_ms=args.slow_ms)
+                 spiller=spiller, slow_ms=args.slow_ms,
+                 admission=admission, read_timeout=args.read_timeout,
+                 max_timeout_ms=args.max_timeout_ms,
+                 drain_timeout=args.drain_timeout)
     if args.cache_file and session is not None:
         count = session.cache.save(args.cache_file)
         print(f"saved {count} cached artifact(s) to {args.cache_file}")

@@ -159,6 +159,12 @@ def build_truth_table(mapping, lower, upper, solver, context=()):
     checker = _FeasibilityChecker(mapping, solver, context)
     cores = checker.cores
     stats = getattr(solver, "stats", None)
+    # The theory-direct fast path never enters the solver's DPLL(T) loop
+    # (and so never hits its deadline checkpoint); poll the attached
+    # deadline here every 64 DFS nodes instead.
+    deadline = getattr(solver, "deadline", None)
+    poll_stride = 64
+    polls = 0
 
     def record(assignment):
         low = mapping.evaluate(lower, assignment)
@@ -169,6 +175,12 @@ def build_truth_table(mapping, lower, upper, solver, context=()):
             table.set(assignment, DONT_CARE)
 
     def dfs(index, assignment):
+        nonlocal polls
+        if deadline is not None:
+            polls += 1
+            if polls >= poll_stride:
+                polls = 0
+                deadline.check("minfix")
         bound = 1 << index
         for cmask, cbits in cores:
             # A core confined to the assigned bits (< bound) that the

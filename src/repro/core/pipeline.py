@@ -29,9 +29,10 @@ from repro.core.table_mapping import unify_target
 from repro.core.where_repair import repair_where
 from repro.errors import RepairError
 from repro.logic.substitute import substitute
-from repro.obs import REGISTRY, TRACER
+from repro.obs import JOURNAL, REGISTRY, TRACER
 from repro.obs.effort import effort_delta, effort_snapshot, nonzero
 from repro.query import ResolvedQuery
+from repro.service.deadline import DeadlineExceeded
 from repro.solver import Solver
 from repro.solver.aggregates import agg_scalar_var
 from repro.sqlparser import parse_query
@@ -43,6 +44,15 @@ _STAGE_SECONDS = REGISTRY.histogram(
     "repro_stage_seconds",
     "Pipeline stage wall time per run.",
     ("stage",),
+)
+_DEADLINE_EXPIRED = REGISTRY.counter(
+    "repro_deadline_expired_total",
+    "Pipeline runs that exhausted their time budget, by stage reached.",
+    ("stage",),
+)
+_DEGRADED = REGISTRY.counter(
+    "repro_degraded_total",
+    "Best-effort partial (degraded) reports returned.",
 )
 
 
@@ -72,6 +82,13 @@ class Report:
     final_query: ResolvedQuery
     target_query: ResolvedQuery
     elapsed: float
+    #: True when the run's deadline expired mid-pipeline and the report is
+    #: a best-effort partial: stages graded before expiry are exact; the
+    #: stage named by ``degraded_stage`` carries one coarse stage-level
+    #: hint and later stages are absent.  Degraded reports are never
+    #: cached by the service layer.
+    degraded: bool = False
+    degraded_stage: str | None = None
 
     @property
     def all_passed(self):
@@ -106,6 +123,7 @@ class QrHint:
         optimized=True,
         solver=None,
         weight=DEFAULT_SITE_WEIGHT,
+        deadline=None,
     ):
         self.catalog = catalog
         self.target = self._coerce(target)
@@ -114,6 +132,11 @@ class QrHint:
         self.optimized = optimized
         self.solver = solver or Solver()
         self.weight = weight
+        #: Optional :class:`repro.service.deadline.Deadline`.  Attached to
+        #: the solver for the duration of the run; expiry mid-stage yields
+        #: a degraded partial report instead of an exception.
+        self.deadline = deadline
+        self._current_stage = None
 
     def _coerce(self, query):
         if isinstance(query, str):
@@ -144,12 +167,76 @@ class QrHint:
                 )
             )
 
+    def _stage_begin(self, name):
+        """Per-stage deadline poll; names the stage for degradation."""
+        self._current_stage = name
+        if self.deadline is not None:
+            self.deadline.check(name)
+
     def _run(self):
         start = time.perf_counter()
+        deadline = self.deadline
+        if deadline is not None:
+            # A budget spent before any work is a caller problem (HTTP maps
+            # it to 408); degradation only covers expiry *during* the run.
+            deadline.check("pipeline.start")
         stages = []
-        working = self.working
+        state = {"working": self.working, "target": self.target}
+        degraded_stage = None
+        if deadline is not None:
+            self.solver.deadline = deadline
+        try:
+            self._run_stages(stages, state)
+        except DeadlineExceeded:
+            degraded_stage = self._current_stage or "FROM"
+            stages.append(self._degraded_stage_result(degraded_stage))
+            _DEADLINE_EXPIRED.inc(stage=degraded_stage)
+            _DEGRADED.inc()
+            JOURNAL.record(
+                "deadline.expired",
+                stage=degraded_stage,
+                stages_done=len(stages) - 1,
+            )
+        finally:
+            if deadline is not None:
+                self.solver.deadline = None
+        for result in stages:
+            result.hints = tuple(result.hints)
+            _STAGE_SECONDS.observe(result.elapsed, stage=result.stage)
+        return Report(
+            stages=tuple(stages),
+            final_query=state["working"],
+            target_query=state["target"],
+            elapsed=time.perf_counter() - start,
+            degraded=degraded_stage is not None,
+            degraded_stage=degraded_stage,
+        )
+
+    def _degraded_stage_result(self, stage):
+        """The coarse stage-level hint standing in for an unfinished stage."""
+        hint = hint_templates.Hint(
+            stage=stage,
+            kind="degraded",
+            message=(
+                f"time budget exhausted while grading the {stage} stage; "
+                "earlier stages are exact -- retry with a larger timeout "
+                "for a precise hint"
+            ),
+        )
+        return StageResult(stage, passed=False, hints=[hint])
+
+    def _run_stages(self, stages, state):
+        """The staged Theorem 3.1 walk; appends each finished stage.
+
+        ``stages``/``state`` are caller-owned so that a
+        :class:`DeadlineExceeded` escaping mid-stage leaves every
+        *completed* stage (and the latest working/target queries) visible
+        to ``_run``'s degradation handler.
+        """
+        working = state["working"]
 
         # ---- FROM ----
+        self._stage_begin("FROM")
         stage_start = time.perf_counter()
         with TRACER.span("stage.FROM") as span:
             effort_before = self._stage_effort_start()
@@ -163,6 +250,7 @@ class QrHint:
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
+        state["working"] = working
 
         # ---- unify alias namespaces (table mapping) ----
         target, _mapping = unify_target(self.target, working, self.catalog)
@@ -177,8 +265,11 @@ class QrHint:
                 working.where, working.group_by, working.having
             )
             working = replace(working, where=new_where_w, having=new_having_w)
+        state["target"] = target
+        state["working"] = working
 
         # ---- WHERE ----
+        self._stage_begin("WHERE")
         stage_start = time.perf_counter()
         with TRACER.span("stage.WHERE") as span:
             effort_before = self._stage_effort_start()
@@ -207,9 +298,11 @@ class QrHint:
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
+        state["working"] = working
 
         if spja:
             # ---- GROUP BY ----
+            self._stage_begin("GROUP BY")
             stage_start = time.perf_counter()
             with TRACER.span("stage.GROUP BY") as span:
                 effort_before = self._stage_effort_start()
@@ -233,8 +326,10 @@ class QrHint:
             result.elapsed = time.perf_counter() - stage_start
             result.query_after = working
             stages.append(result)
+            state["working"] = working
 
             # ---- HAVING ----
+            self._stage_begin("HAVING")
             stage_start = time.perf_counter()
             with TRACER.span("stage.HAVING") as span:
                 effort_before = self._stage_effort_start()
@@ -274,8 +369,10 @@ class QrHint:
             result.elapsed = time.perf_counter() - stage_start
             result.query_after = working
             stages.append(result)
+            state["working"] = working
 
         # ---- SELECT ----
+        self._stage_begin("SELECT")
         stage_start = time.perf_counter()
         with TRACER.span("stage.SELECT") as span:
             effort_before = self._stage_effort_start()
@@ -318,16 +415,7 @@ class QrHint:
         result.elapsed = time.perf_counter() - stage_start
         result.query_after = working
         stages.append(result)
-
-        for result in stages:
-            result.hints = tuple(result.hints)
-            _STAGE_SECONDS.observe(result.elapsed, stage=result.stage)
-        return Report(
-            stages=tuple(stages),
-            final_query=working,
-            target_query=target,
-            elapsed=time.perf_counter() - start,
-        )
+        state["working"] = working
 
 
 def grade(catalog, target, working, **options):

@@ -53,6 +53,8 @@ class Metric:
     Directions:
 
     * ``higher`` -- ratio fresh/committed must stay above the gate;
+    * ``lower``  -- lower is better (latencies, shed rates); compared
+      through the inverse ratio so the same floor/noise logic applies;
     * ``exact``  -- fresh must equal committed (invariants such as
       ``byte_identical`` or a 100% grade rate);
     * ``bound_max`` -- fresh must stay below ``bound`` (absolute budget,
@@ -61,7 +63,7 @@ class Metric:
     """
 
     path: str
-    direction: str = "higher"  # "higher" | "exact" | "bound_max"
+    direction: str = "higher"  # "higher" | "lower" | "exact" | "bound_max"
     noise: float = DEFAULT_NOISE
     gated: bool = True  # participates in the exit-code gate
     min_ratio: float = None  # per-metric floor overriding the global gate
@@ -100,8 +102,16 @@ BENCHMARKS = {
             Metric("scenarios.*.batch_qps", noise=0.3, gated=False),
             Metric("scenarios.*.cache_hit_rate", noise=0.02),
             Metric("byte_identical", direction="exact"),
+            # Overload axis: latency under admission control is tracked
+            # (noise-banded, ungated) -- load timing is machine-shaped.
+            Metric("overload.*.p50_ms", direction="lower", noise=0.5,
+                   gated=False),
+            Metric("overload.*.p99_ms", direction="lower", noise=0.5,
+                   gated=False),
+            Metric("overload.*.shed_rate", direction="lower", noise=0.5,
+                   gated=False),
         ),
-        note="batch grading throughput vs sequential",
+        note="batch grading throughput vs sequential + overload latency",
     ),
     "witness": Benchmark(
         name="witness",
@@ -228,19 +238,29 @@ def _compare_one(bench, metric, path, committed, fresh, gate):
         result.status = "ok" if ok else ("fail" if metric.gated else "slower")
         result.detail = f"budget <= {bound:g}"
         return result
-    # direction == "higher"
+    # direction == "higher" | "lower"
     if not isinstance(fresh, (int, float)) or not isinstance(
         committed, (int, float)
     ):
         result.status = "skipped"
         result.detail = "non-numeric"
         return result
-    if committed <= 0:
-        # Nothing to regress against; only report.
-        result.status = "ok" if fresh >= committed else "slower"
-        result.detail = "committed value is <= 0"
-        return result
-    ratio = fresh / committed
+    if metric.direction == "lower":
+        if committed <= 0 or fresh <= 0:
+            # Nothing to regress against; only report.
+            result.status = "ok" if fresh <= committed else "slower"
+            result.detail = "value at or below zero"
+            return result
+        # Inverse ratio: "committed/fresh > 1" means fresh got smaller,
+        # which for latency-style metrics is the improvement direction.
+        ratio = committed / fresh
+    else:
+        if committed <= 0:
+            # Nothing to regress against; only report.
+            result.status = "ok" if fresh >= committed else "slower"
+            result.detail = "committed value is <= 0"
+            return result
+        ratio = fresh / committed
     result.ratio = round(ratio, 4)
     floor = metric.min_ratio if metric.min_ratio is not None else gate
     if ratio < floor:

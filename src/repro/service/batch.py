@@ -22,21 +22,40 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ReproError
-from repro.obs import REGISTRY, TRACER, snapshot_delta
+from repro.obs import JOURNAL, REGISTRY, TRACER, snapshot_delta
 from repro.obs.effort import EFFORT_KEYS, effort_delta, effort_snapshot
+from repro.service.faults import FAULTS
 from repro.service.session import AssignmentSession, _counter_delta
+
+_WORKER_RECOVERIES = REGISTRY.counter(
+    "repro_worker_recoveries_total",
+    "Batch worker fault-recovery events, by kind "
+    "(crash, hang, retry_ok, gave_up).",
+    ("kind",),
+)
 
 
 @dataclass(frozen=True)
 class GradeError:
-    """A submission that failed to parse/resolve; grading was skipped."""
+    """A submission that could not be graded (parse/resolve/pipeline/worker).
+
+    ``detail`` carries the innermost traceback frame of worker-side
+    failures so batch errors are diagnosable from the parent without
+    re-running the form; empty for parse-stage errors raised in the
+    parent (the message is the whole story there).
+    """
 
     submission_sql: str
     error: str
     kind: str  # exception class name, e.g. "ParseError"
+    detail: str = ""
 
 # Worker-process state, created once per worker by ``_init_worker``.
 _WORKER_SESSION = None
@@ -79,6 +98,8 @@ def _grade_unique(canonical):
     output is byte-identical to a serial run.
     """
     session = _WORKER_SESSION
+    if FAULTS.enabled:  # chaos harness: crash/hang this worker on demand
+        FAULTS.on_task("batch.worker", payload=canonical.to_sql())
     before = session.solver.stats_snapshot()
     metrics_before = REGISTRY.snapshot()
     report, error, witness_entry, trace_dict = None, None, None, None
@@ -99,8 +120,12 @@ def _grade_unique(canonical):
             if handle is not None:
                 handle.__exit__(None, None, None)
                 trace_dict = handle.to_dict()
-    except ReproError as exc:
-        error = (str(exc), type(exc).__name__)
+    except Exception as exc:
+        # Any failure -- expected ReproErrors and unexpected bugs alike --
+        # is captured per-form rather than raised: one bad query must not
+        # abort the pile, and the parent needs enough context (class name
+        # plus the innermost frame) to diagnose without re-running.
+        error = (str(exc), type(exc).__name__, _innermost_frame())
     after = session.solver.stats_snapshot()
     metrics_delta = snapshot_delta(metrics_before, REGISTRY.snapshot())
     return (
@@ -111,6 +136,14 @@ def _grade_unique(canonical):
         metrics_delta,
         trace_dict,
     )
+
+
+def _innermost_frame():
+    """The deepest ``File "...", line N, in f`` frame of the active traceback."""
+    for line in reversed(traceback.format_exc().splitlines()):
+        if line.lstrip().startswith("File "):
+            return line.strip()
+    return ""
 
 
 def _merge_counters(total, delta):
@@ -134,6 +167,12 @@ class BatchResult:
     #: :meth:`TraceHandle.to_dict` shape) per successfully graded unique
     #: canonical form.
     traces: list = field(default_factory=list)
+    #: Worker fault-recovery tallies for this run: ``crashes`` (pool
+    #: rounds broken by a dead worker), ``hangs`` (no-progress windows
+    #: that tripped ``task_timeout``), ``retried_ok`` (forms recovered by
+    #: an isolation retry), ``gave_up`` (forms recorded as
+    #: :class:`GradeError` after exhausting retries).
+    recoveries: dict = field(default_factory=dict)
 
     @property
     def submissions(self):
@@ -171,6 +210,7 @@ class BatchResult:
             "cache_hit_rate": self.cache_hit_rate,
             "cache": self.cache_stats,
             "solver": self.solver_stats,
+            "recoveries": dict(self.recoveries),
         }
 
 
@@ -180,6 +220,129 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         return multiprocessing.get_context("spawn")
+
+
+def _kill_executor(executor):
+    """Tear down an executor that may hold hung or dead workers.
+
+    ``shutdown`` alone would join hung workers forever; terminate the
+    processes first, then reap them with a bounded join.
+    """
+    processes = list(getattr(executor, "_processes", {}).values())
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+    executor.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        proc.join(timeout=5)
+
+
+def _pool_round(indices, pending, initargs, workers, task_timeout, graded):
+    """One shared-pool grading round over ``indices`` into ``pending``.
+
+    Completed forms land in ``graded`` (index -> worker result tuple).
+    Returns ``(leftover_indices, reason)``: forms not completed because a
+    worker died (``BrokenProcessPool`` fails every outstanding future) or
+    because no future completed within a ``task_timeout`` window (a hung
+    worker; only detected when a timeout was given).  ``reason`` is None
+    on a clean round, else ``"crash"`` / ``"hang"``.
+    """
+    executor = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=initargs,
+    )
+    futures = {
+        executor.submit(_grade_unique, pending[i]): i for i in indices
+    }
+    outstanding = set(futures)
+    reason = None
+    try:
+        while outstanding:
+            done, not_done = wait(
+                outstanding, timeout=task_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # A full no-progress window: some worker is hung.  Every
+                # outstanding form is handed to isolation retries (the
+                # hung one will hang again solo and be blamed precisely).
+                reason = "hang"
+                break
+            for future in done:
+                try:
+                    graded[futures[future]] = future.result()
+                except Exception:
+                    # The worker died (BrokenProcessPool / lost result).
+                    # All remaining futures fail the same way, so stop the
+                    # round rather than churning through them.
+                    reason = "crash"
+            outstanding = not_done
+            if reason is not None:
+                break
+    finally:
+        if reason is None:
+            executor.shutdown(wait=True)
+        else:
+            _kill_executor(executor)
+    leftovers = sorted(
+        futures[f] for f in futures
+        if futures[f] not in graded
+    )
+    return leftovers, reason
+
+
+def _isolate_form(canonical, initargs, task_timeout, max_retries):
+    """Grade one leftover form alone, retrying on a fresh single worker.
+
+    Shared-pool failures cannot assign blame (a crashed worker fails every
+    outstanding future); grading each leftover solo does: an innocent
+    collateral form succeeds on the first isolation attempt, the culprit
+    keeps failing and is recorded as an error tuple after ``max_retries``
+    attempts with linear backoff.  Returns the worker result tuple on
+    success, else ``(message, kind, detail)``.
+    """
+    sql = canonical.to_sql()
+    failure = ("worker failed before reporting", "WorkerCrashError", "")
+    for attempt in range(1, max_retries + 1):
+        executor = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+        future = executor.submit(_grade_unique, canonical)
+        try:
+            result = future.result(timeout=task_timeout)
+            executor.shutdown(wait=True)
+            if attempt > 1:
+                _WORKER_RECOVERIES.inc(kind="retry_ok")
+            JOURNAL.record("batch.retry_ok", sql=sql, attempt=attempt)
+            return result
+        except FuturesTimeoutError:
+            failure = (
+                f"worker hung grading this form (> {task_timeout:g}s)",
+                "WorkerTimeoutError",
+                "",
+            )
+        except BrokenProcessPool:
+            failure = (
+                "worker process died grading this form",
+                "WorkerCrashError",
+                "",
+            )
+        except Exception as exc:  # e.g. an unpicklable result
+            failure = (str(exc), type(exc).__name__, "")
+        _kill_executor(executor)
+        JOURNAL.record(
+            "batch.retry", sql=sql, attempt=attempt, error=failure[1]
+        )
+        if attempt < max_retries:
+            time.sleep(0.05 * attempt)  # linear backoff before respawn
+    _WORKER_RECOVERIES.inc(kind="gave_up")
+    JOURNAL.record("batch.gave_up", sql=sql, error=failure[1])
+    return failure
 
 
 def grade_batch(
@@ -194,6 +357,8 @@ def grade_batch(
     witness=False,
     trace=False,
     effort=False,
+    task_timeout=None,
+    max_retries=2,
 ):
     """Grade ``submissions`` (SQL strings) against one shared ``target``.
 
@@ -218,6 +383,16 @@ def grade_batch(
     merge double as the attribution source, so effort costs nothing
     extra in the pool path; forms served from a pre-warmed cache carry
     an all-zero delta (no solver work was done for them in this batch).
+
+    The pool path is crash-tolerant: a worker that dies (or, with
+    ``task_timeout`` set, makes no progress for a full window) fails only
+    its own round -- completed results are kept, and every unfinished
+    form is re-graded alone on a fresh single worker, up to
+    ``max_retries`` attempts with backoff.  Forms that keep failing are
+    recorded as per-submission :class:`GradeError`\\s
+    (``WorkerCrashError`` / ``WorkerTimeoutError``) instead of aborting
+    the pile.  ``task_timeout=None`` (the default) disables hang
+    detection; crash detection is always on.
     """
     start = time.perf_counter()
     if session is None:
@@ -258,21 +433,42 @@ def grade_batch(
     traces = []
     form_efforts = {}  # canonical form -> effort delta of grading it
 
+    recoveries = {"crashes": 0, "hangs": 0, "retried_ok": 0, "gave_up": 0}
+
     # Back half: grade unique forms, sharded across workers when it pays.
     if processes > 1 and len(pending) > 1:
-        ctx = _pool_context()
-        chunksize = max(1, len(pending) // (processes * 4))
-        with ctx.Pool(
-            processes=min(processes, len(pending)),
-            initializer=_init_worker,
-            initargs=(session.catalog, session.target,
-                      session.max_sites, session.optimized,
-                      session.witness_seed, witness, trace),
-        ) as pool:
-            graded = pool.map(_grade_unique, pending, chunksize=chunksize)
-        for canonical, (
-            report, error, delta, witness_entry, metrics_delta, trace_dict
-        ) in zip(pending, graded):
+        initargs = (session.catalog, session.target,
+                    session.max_sites, session.optimized,
+                    session.witness_seed, witness, trace)
+        graded_by_index = {}
+        leftovers, reason = _pool_round(
+            list(range(len(pending))), pending, initargs,
+            min(processes, len(pending)), task_timeout, graded_by_index,
+        )
+        if reason is not None:
+            recoveries["crashes" if reason == "crash" else "hangs"] += 1
+            _WORKER_RECOVERIES.inc(kind=reason)
+            JOURNAL.record(
+                "batch.pool_broken", reason=reason, leftovers=len(leftovers)
+            )
+        for index in leftovers:
+            outcome = _isolate_form(
+                pending[index], initargs, task_timeout, max_retries
+            )
+            if len(outcome) == 3:  # (message, kind, detail) failure tuple
+                failed[pending[index]] = outcome
+                continue
+            recoveries["retried_ok"] += 1
+            graded_by_index[index] = outcome
+        recoveries["gave_up"] = len(failed)
+        graded = [graded_by_index.get(i) for i in range(len(pending))]
+        for canonical, entry in zip(pending, graded):
+            if entry is None:  # recorded in ``failed`` by isolation retries
+                continue
+            (
+                report, error, delta, witness_entry, metrics_delta,
+                trace_dict,
+            ) = entry
             _merge_counters(solver_stats, delta)
             REGISTRY.merge(metrics_delta)
             if trace_dict is not None:
@@ -319,7 +515,9 @@ def grade_batch(
                         form_before, effort_snapshot(session.solver)
                     )
             except ReproError as exc:
-                failed[canonical] = (str(exc), type(exc).__name__)
+                failed[canonical] = (
+                    str(exc), type(exc).__name__, _innermost_frame()
+                )
         _merge_counters(
             solver_stats,
             _counter_delta(session.solver.stats_snapshot(), before),
@@ -333,8 +531,8 @@ def grade_batch(
             continue
         canonical, _ = entry
         if canonical in failed:
-            message, kind = failed[canonical]
-            results.append(GradeError(sql, message, kind))
+            message, kind, detail = failed[canonical]
+            results.append(GradeError(sql, message, kind, detail))
             continue
         outcome = session.grade(sql, witness=witness, _prepared=entry)
         if effort:
@@ -354,4 +552,5 @@ def grade_batch(
         solver_stats=solver_stats,
         cache_stats=session.cache.stats(),
         traces=traces,
+        recoveries=recoveries,
     )

@@ -37,6 +37,17 @@ Request hardening: bodies above ``MAX_BODY_BYTES`` are rejected with 413,
 and POST requests whose ``Content-Length`` is absent or malformed get a
 400 (both close the connection -- the body framing cannot be trusted).
 
+Fault tolerance (see ``docs/service.md``): POST work routes run under an
+:class:`AdmissionController` -- beyond ``max_inflight`` concurrent grades
+plus a bounded wait queue, requests are shed with 503 + ``Retry-After``.
+``read_timeout`` bounds how long a stalled client can hold a handler
+thread (408 mid-body, silent close between requests).  ``timeout_ms`` on
+``POST /grade`` (capped by the server's ``max_timeout_ms``) bounds one
+grade: on expiry the response is a degraded-200 partial report, or 408
+when the budget was spent before the pipeline started.  Shutdown drains:
+new work is shed (``draining``) while admitted requests finish complete
+responses, then the spiller takes its final flush.
+
 Concurrency model: the threading server gives each request its own
 thread; the registry is guarded by a service-level lock and each grade
 takes its session's re-entrant lock, so concurrent submissions for the
@@ -63,12 +74,16 @@ from repro.obs.export import (
     service_metric_families,
 )
 from repro.obs.metrics import render_families
+from repro.service.deadline import Deadline, DeadlineExceeded
+from repro.service.faults import FAULTS
 from repro.service.session import AssignmentSession
 
 MAX_BODY_BYTES = 1_048_576
 
 __all__ = [
+    "AdmissionController",
     "CacheSpiller",
+    "HintHTTPServer",
     "HintRequestHandler",
     "HintService",
     "KNOWN_ROUTES",  # re-exported from repro.obs.export (canonical home)
@@ -95,6 +110,12 @@ _HTTP_LATENCY = REGISTRY.histogram(
     "HTTP request handling wall time, by route.",
     ("route",),
 )
+_SHED = REGISTRY.counter(
+    "repro_shed_total",
+    "Requests shed by the fault-tolerance layer, by reason "
+    "(queue_full, timeout, draining, read_timeout).",
+    ("reason",),
+)
 
 
 class ServiceError(Exception):
@@ -103,6 +124,111 @@ class ServiceError(Exception):
     def __init__(self, status, message):
         super().__init__(message)
         self.status = status
+
+
+class AdmissionController:
+    """Bounded in-flight admission with a small wait queue.
+
+    The threading server otherwise accepts unbounded concurrent work: a
+    burst of expensive grades piles up threads until every one of them is
+    slow.  The controller admits at most ``max_inflight`` concurrent work
+    requests; up to ``max_queue`` more wait (at most ``queue_timeout``
+    seconds) for a slot, and everything beyond that is shed immediately
+    with 503 + ``Retry-After`` so clients back off instead of queuing
+    invisible seconds of latency.
+
+    ``max_inflight=None`` means unbounded-but-tracked: nothing is ever
+    shed for load, but in-flight accounting still works, which is what
+    graceful drain (:meth:`HintHTTPServer.drain`) relies on -- so a
+    controller is always attached, bounded or not.
+    """
+
+    def __init__(self, max_inflight=None, max_queue=0, queue_timeout=1.0):
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition()
+        self.inflight = 0
+        self.waiting = 0
+        self.draining = False
+        self.admitted = 0
+        self.shed = {"queue_full": 0, "timeout": 0, "draining": 0}
+
+    def _slot_free(self):
+        return self.max_inflight is None or self.inflight < self.max_inflight
+
+    def acquire(self):
+        """Try to admit one work request.
+
+        Returns ``"admitted"`` (caller must :meth:`release`), or the shed
+        reason: ``"queue_full"``, ``"timeout"`` (queued but no slot freed
+        within ``queue_timeout``), or ``"draining"`` (shutdown underway).
+        """
+        with self._cond:
+            if self.draining:
+                self.shed["draining"] += 1
+                return "draining"
+            if self._slot_free():
+                self.inflight += 1
+                self.admitted += 1
+                return "admitted"
+            if self.waiting >= self.max_queue:
+                self.shed["queue_full"] += 1
+                return "queue_full"
+            self.waiting += 1
+            deadline = time.monotonic() + self.queue_timeout
+            try:
+                while True:
+                    if self.draining:
+                        self.shed["draining"] += 1
+                        return "draining"
+                    if self._slot_free():
+                        self.inflight += 1
+                        self.admitted += 1
+                        return "admitted"
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.shed["timeout"] += 1
+                        return "timeout"
+                    self._cond.wait(remaining)
+            finally:
+                self.waiting -= 1
+
+    def release(self):
+        with self._cond:
+            self.inflight -= 1
+            self._cond.notify_all()
+
+    def start_drain(self):
+        """Refuse all future admissions (drain begins)."""
+        with self._cond:
+            self.draining = True
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout):
+        """Block until no admitted work is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self.inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def stats(self):
+        """The ``admission`` block of ``GET /stats``."""
+        with self._cond:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "queue_timeout": self.queue_timeout,
+                "inflight": self.inflight,
+                "waiting": self.waiting,
+                "admitted": self.admitted,
+                "draining": self.draining,
+                "shed": dict(self.shed),
+            }
 
 
 class HintService:
@@ -216,6 +342,8 @@ class CacheSpiller:
         self.interval = interval
         self.spills = 0  # completed (non-skipped) spills
         self.skipped_idle = 0  # spills skipped because the cache was clean
+        self.errors = 0  # spills that failed with OSError
+        self.join_timeouts = 0  # stop() joins that abandoned a live thread
         self.last_duration_ms = 0.0
         self.last_bytes = 0
         self.last_entries = 0
@@ -233,7 +361,7 @@ class CacheSpiller:
         self._thread.start()
         return self
 
-    def stop(self):
+    def stop(self, join_timeout=None):
         """Signal the loop, join it, then flush one final spill.
 
         Without the final flush, mutations landing after the last timer
@@ -241,21 +369,39 @@ class CacheSpiller:
         background thread's in-flight spill against the server teardown.
         Joining first guarantees no concurrent writer; the flush itself
         is a no-op when the cache is clean (change-marker skip).
+
+        When the join times out the spill thread is still live (e.g.
+        wedged on stalled disk I/O).  That used to be silent; now it is
+        counted (``join_timeouts``, surfaced in the ``spill`` stats
+        block), journaled as ``spill.join_timeout``, and the final flush
+        is *skipped* -- writing concurrently with the wedged thread's
+        in-flight spill could interleave two writers on the same path.
         """
         self._stop.set()
         if self._thread.is_alive():
-            self._thread.join(timeout=self.interval + 30)
+            self._thread.join(
+                join_timeout if join_timeout is not None
+                else self.interval + 30
+            )
+            if self._thread.is_alive():
+                self.join_timeouts += 1
+                JOURNAL.record(
+                    "spill.join_timeout", join_timeouts=self.join_timeouts
+                )
+                return
         try:
             self.spill()
-        except OSError:  # pragma: no cover - disk trouble at shutdown
-            pass
+        except OSError as exc:  # pragma: no cover - disk trouble at shutdown
+            self.errors += 1
+            JOURNAL.record("spill.error", error=str(exc), at="stop")
 
     def _run(self):
         while not self._stop.wait(self.interval):
             try:
                 self.spill()
-            except OSError:  # pragma: no cover - disk trouble; retry later
-                pass
+            except OSError as exc:  # disk trouble; retry next interval
+                self.errors += 1
+                JOURNAL.record("spill.error", error=str(exc), at="loop")
 
     def spill(self):
         """Write a snapshot now (if dirty); returns entries written."""
@@ -267,6 +413,9 @@ class CacheSpiller:
             JOURNAL.record("spill.idle", skipped=self.skipped_idle)
             return 0
         JOURNAL.record("spill.start", size=marker[0])
+        if FAULTS.enabled:  # chaos harness: stalled or failing spill I/O
+            FAULTS.sleep("spill.stall")
+            FAULTS.raise_io("spill.io")
         started = time.perf_counter()
         count = self.cache.save(self.path)
         self.last_duration_ms = round(
@@ -292,6 +441,8 @@ class CacheSpiller:
         return {
             "count": self.spills,
             "skipped_idle": self.skipped_idle,
+            "errors": self.errors,
+            "join_timeouts": self.join_timeouts,
             "last_duration_ms": self.last_duration_ms,
             "last_bytes": self.last_bytes,
             "last_entries": self.last_entries,
@@ -310,17 +461,34 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(fmt, *args)
 
+    def setup(self):
+        """Apply the server's socket read timeout before the first read.
+
+        ``StreamRequestHandler.setup`` installs ``self.timeout`` on the
+        connection, so a stalled client (headers or body trickling in, or
+        an idle keep-alive socket) raises ``TimeoutError`` instead of
+        pinning this handler thread forever.
+        """
+        read_timeout = getattr(self.server, "read_timeout", None)
+        if read_timeout is not None:
+            self.timeout = read_timeout
+        super().setup()
+
     # -- plumbing -------------------------------------------------------
 
-    def _send_json(self, status, payload):
+    def _send_json(self, status, payload, extra_headers=None):
         body = json.dumps(payload).encode("utf-8")
-        self._send_body(status, body, "application/json")
+        self._send_body(
+            status, body, "application/json", extra_headers=extra_headers
+        )
 
-    def _send_body(self, status, body, content_type):
+    def _send_body(self, status, body, content_type, extra_headers=None):
         """Single response exit point: writes the body, records metrics."""
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         route = getattr(self, "_route", "other")
@@ -373,11 +541,16 @@ class HintRequestHandler(BaseHTTPRequestHandler):
             length = self._content_length() or 0
         except ServiceError:
             return  # malformed framing; _content_length closed the connection
-        while length > 0:
-            chunk = self.rfile.read(min(length, 65536))
-            if not chunk:
-                break
-            length -= len(chunk)
+        try:
+            while length > 0:
+                chunk = self.rfile.read(min(length, 65536))
+                if not chunk:
+                    break
+                length -= len(chunk)
+        except TimeoutError:
+            # Stalled client mid-body on a non-work route: nothing left to
+            # salvage on this connection.
+            self._record_read_timeout()
 
     def _read_json(self):
         length = self._content_length()
@@ -390,7 +563,14 @@ class HintRequestHandler(BaseHTTPRequestHandler):
             # Too large to drain; drop the connection after responding.
             self.close_connection = True
             raise ServiceError(413, "request body too large")
-        raw = self.rfile.read(length) if length else b""
+        try:
+            raw = self.rfile.read(length) if length else b""
+        except TimeoutError:
+            # The client declared a body it never finished sending; the
+            # read timeout reclaims this thread instead of letting the
+            # stall pin it.  408 + close (body framing is unrecoverable).
+            self._record_read_timeout()
+            raise ServiceError(408, "timed out reading request body")
         if not raw:
             raise ServiceError(400, "empty request body")
         try:
@@ -400,6 +580,13 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             raise ServiceError(400, "request body must be a JSON object")
         return payload
+
+    def _record_read_timeout(self):
+        self.close_connection = True
+        _SHED.inc(reason="read_timeout")
+        JOURNAL.record(
+            "http.read_timeout", route=getattr(self, "_route", "other")
+        )
 
     def _require(self, payload, key, types=str):
         value = payload.get(key)
@@ -412,6 +599,13 @@ class HintRequestHandler(BaseHTTPRequestHandler):
             status, payload = handler()
         except ServiceError as error:
             status, payload = error.status, {"error": str(error)}
+        except DeadlineExceeded as error:
+            # Only reachable when the budget was spent before the pipeline
+            # started (mid-run expiry degrades to a partial 200 instead).
+            status, payload = 408, {
+                "error": str(error),
+                "kind": "DeadlineExceeded",
+            }
         except ReproError as error:
             status, payload = 400, {
                 "error": str(error),
@@ -432,6 +626,42 @@ class HintRequestHandler(BaseHTTPRequestHandler):
                 f"{getattr(self, '_route', 'other')}"
             )
         self._send_json(status, payload)
+
+    def _admitted(self, handler):
+        """Run a work-route handler under admission control.
+
+        Shed requests get 503 + ``Retry-After`` without *grading*
+        anything; the (bounded, usually already-buffered) request body is
+        still drained first -- closing a socket with unread bytes sends a
+        TCP RST that can destroy the in-flight 503 before the client
+        reads it.  The connection is then closed to keep keep-alive
+        framing honest.  GET routes bypass admission entirely --
+        stats/metrics/health must answer precisely when the server is
+        saturated.
+        """
+        admission = getattr(self.server, "admission", None)
+        if admission is None:
+            self._dispatch(handler)
+            return
+        verdict = admission.acquire()
+        if verdict != "admitted":
+            _SHED.inc(reason=verdict)
+            JOURNAL.record(
+                "admission.shed", route=self._route, reason=verdict
+            )
+            self._drain_body()
+            self.close_connection = True
+            retry_after = "5" if verdict == "draining" else "1"
+            self._send_json(
+                503,
+                {"error": f"server busy ({verdict})", "reason": verdict},
+                extra_headers={"Retry-After": retry_after},
+            )
+            return
+        try:
+            self._dispatch(handler)
+        finally:
+            admission.release()
 
     # -- routes ---------------------------------------------------------
 
@@ -480,11 +710,11 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         path, _, query = self.path.partition("?")
         if method == "POST":
             if path == "/assignments":
-                self._dispatch(self._post_assignment)
+                self._admitted(self._post_assignment)
             elif path == "/grade":
-                self._dispatch(self._post_grade)
+                self._admitted(self._post_grade)
             elif path == "/witness":
-                self._dispatch(self._post_witness)
+                self._admitted(self._post_witness)
             else:
                 self._drain_body()
                 self._send_json(404, {"error": f"no such route {self.path}"})
@@ -537,6 +767,7 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         witness = bool(payload.get("witness", False)) or witness_text
         want_trace = bool(payload.get("trace", False))
         want_effort = bool(payload.get("effort", False))
+        deadline = self._request_deadline(payload)
         session = self.server.service.session(assignment_id)
         trace_dict = None
         # Effort is always measured (two counter-dict copies) so the
@@ -544,10 +775,20 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         # carries the delta only on "effort": true requests.
         if want_trace:
             with TRACER.trace("grade", assignment=assignment_id) as handle:
-                result = session.grade(sql, witness=witness, effort=True)
+                result = session.grade(
+                    sql, witness=witness, effort=True, deadline=deadline
+                )
             trace_dict = handle.to_dict()
         else:
-            result = session.grade(sql, witness=witness, effort=True)
+            result = session.grade(
+                sql, witness=witness, effort=True, deadline=deadline
+            )
+        if result.degraded:
+            JOURNAL.record(
+                "grade.degraded",
+                route=self._route,
+                assignment=assignment_id,
+            )
         record_route_effort(self._route, result.effort)
         body = result.to_dict(show_fixes=show_fixes)
         if not want_effort:
@@ -559,6 +800,28 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         if trace_dict is not None:
             body["trace"] = trace_dict
         return 200, body
+
+    def _request_deadline(self, payload):
+        """Per-request ``timeout_ms`` -> :class:`Deadline`, server-capped.
+
+        ``max_timeout_ms`` on the server both caps client-requested
+        budgets and, when set, applies as the default for requests that
+        did not ask for one -- so an operator can bound worst-case grade
+        latency fleet-wide.
+        """
+        raw = payload.get("timeout_ms")
+        cap = getattr(self.server, "max_timeout_ms", None)
+        if raw is None:
+            return Deadline.after_ms(cap) if cap is not None else None
+        try:
+            timeout_ms = float(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(400, "timeout_ms must be a number")
+        if timeout_ms <= 0:
+            raise ServiceError(400, "timeout_ms must be positive")
+        if cap is not None:
+            timeout_ms = min(timeout_ms, cap)
+        return Deadline.after_ms(timeout_ms)
 
     def _post_witness(self):
         from repro.witness import witness_to_dict
@@ -587,6 +850,9 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         spiller = getattr(self.server, "spiller", None)
         if spiller is not None:
             stats["spill"] = spiller.stats()
+        admission = getattr(self.server, "admission", None)
+        if admission is not None:
+            stats["admission"] = admission.stats()
         return 200, stats
 
     def _get_journal(self, query):
@@ -620,8 +886,42 @@ class HintRequestHandler(BaseHTTPRequestHandler):
         )
 
 
+class HintHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server with admission control and graceful drain."""
+
+    daemon_threads = True
+    # Overload must be shed at the application layer (503 + Retry-After),
+    # not by the kernel: with socketserver's default backlog of 5, a
+    # connect burst overflows the accept queue and Linux drops handshake
+    # ACKs -- clients then see connection resets and retransmit stalls
+    # instead of a clean shed.
+    request_queue_size = 128
+
+    def drain(self, timeout=10.0):
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        Must be called from a thread other than the one running
+        ``serve_forever`` (which it stops).  New work requests are shed
+        with 503 (``draining``) the moment this starts; the call then
+        blocks up to ``timeout`` seconds for admitted requests to finish
+        writing their complete responses.  Returns True when the server
+        drained fully, False when the timeout left work in flight.
+        """
+        JOURNAL.record("server.drain.start")
+        admission = getattr(self, "admission", None)
+        if admission is not None:
+            admission.start_drain()
+        self.shutdown()  # stop serve_forever; no new connections accepted
+        drained = (
+            admission.wait_idle(timeout) if admission is not None else True
+        )
+        JOURNAL.record("server.drain.end", drained=drained)
+        return drained
+
+
 def make_server(host="127.0.0.1", port=0, service=None, slow_ms=None,
-                spiller=None):
+                spiller=None, admission=None, read_timeout=None,
+                max_timeout_ms=None):
     """Build (but do not start) the threading HTTP server.
 
     ``port=0`` binds an ephemeral port (tests); the bound address is on
@@ -629,27 +929,46 @@ def make_server(host="127.0.0.1", port=0, service=None, slow_ms=None,
     with slow-request logging (see :class:`HintRequestHandler._handle`).
     ``spiller`` is exposed on the server so ``GET /stats`` can report the
     ``spill`` block (the caller still owns start/stop).
+
+    Fault-tolerance knobs (see ``docs/service.md``, "Fault tolerance"):
+    ``admission`` is an :class:`AdmissionController` (one is always
+    attached -- unbounded by default -- so graceful drain works);
+    ``read_timeout`` puts a socket timeout on request reads so stalled
+    clients get 408/disconnected instead of pinning handler threads;
+    ``max_timeout_ms`` caps (and defaults) per-request ``timeout_ms``
+    grade budgets.
     """
-    server = ThreadingHTTPServer((host, port), HintRequestHandler)
-    server.daemon_threads = True
+    server = HintHTTPServer((host, port), HintRequestHandler)
     server.service = service or HintService()
     server.slow_ms = slow_ms
     server.spiller = spiller
+    server.admission = admission or AdmissionController()
+    server.read_timeout = read_timeout
+    server.max_timeout_ms = max_timeout_ms
     return server
 
 
 def serve(host="127.0.0.1", port=8100, service=None, quiet=False,
-          spiller=None, slow_ms=None):
+          spiller=None, slow_ms=None, admission=None, read_timeout=None,
+          max_timeout_ms=None, drain_timeout=10.0):
     """Run the API server until interrupted; returns the exit code.
 
     ``spiller`` (a :class:`CacheSpiller`) is started alongside the server
     and stopped -- after a final flush attempt -- on the way out.
     ``slow_ms`` logs any request slower than the threshold together with
     its rendered span tree.
+
+    Shutdown is graceful: on interrupt the admission controller starts
+    shedding (503 ``draining``), in-flight requests get up to
+    ``drain_timeout`` seconds to finish their complete responses, and the
+    spiller performs its final flush only after the drain -- so the spill
+    file includes artifacts from requests that finished during it.
     """
     HintRequestHandler.quiet = quiet
     server = make_server(host, port, service, slow_ms=slow_ms,
-                         spiller=spiller)
+                         spiller=spiller, admission=admission,
+                         read_timeout=read_timeout,
+                         max_timeout_ms=max_timeout_ms)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro hint service listening on http://{bound_host}:{bound_port}")
     print("routes: POST /assignments  POST /grade  POST /witness  "
@@ -659,11 +978,25 @@ def serve(host="127.0.0.1", port=8100, service=None, quiet=False,
         print(f"cache spill every {spiller.interval:g}s -> {spiller.path}")
     if slow_ms is not None:
         print(f"tracing requests; logging those slower than {slow_ms:g}ms")
+    controller = server.admission
+    if controller.max_inflight is not None:
+        print(f"admission: {controller.max_inflight} in flight, "
+              f"queue {controller.max_queue} "
+              f"(wait {controller.queue_timeout:g}s)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
-        print("\nshutting down")
+        print("\nshutting down (draining in-flight requests)")
     finally:
+        # serve_forever has exited, so no new connections are accepted;
+        # shed queued/late work and let admitted requests finish.
+        JOURNAL.record("server.drain.start")
+        controller.start_drain()
+        drained = controller.wait_idle(drain_timeout)
+        JOURNAL.record("server.drain.end", drained=drained)
+        if not drained:  # pragma: no cover - hung in-flight work
+            print(f"drain timed out after {drain_timeout:g}s "
+                  f"({controller.inflight} request(s) still in flight)")
         if spiller is not None:
             spiller.stop()
         server.server_close()

@@ -121,6 +121,11 @@ class GradeResult:
     #: ints), or None.  Only populated on ``effort=True`` requests; the
     #: default rendering below is byte-identical without it.
     effort: object = None
+    #: True when the grade ran out of its time budget mid-pipeline and
+    #: this result is a best-effort partial (see ``Report.degraded``).
+    #: Degraded results are never cached, so a retry with a larger budget
+    #: gets a full grade.
+    degraded: bool = False
 
     @property
     def hints(self):
@@ -173,6 +178,10 @@ class GradeResult:
             payload["witness"] = witness_to_dict(self.witness)
         if self.effort is not None:
             payload["effort"] = dict(self.effort)
+        if self.degraded:
+            # Only present on degraded results, keeping the common-path
+            # payload byte-identical to pre-deadline behaviour.
+            payload["degraded"] = True
         return payload
 
 
@@ -340,12 +349,27 @@ class AssignmentSession:
         inverse = {canon: orig for orig, canon in mapping.items()}
         return canonical, inverse
 
-    def grade(self, submission, witness=False, effort=False, _prepared=None):
+    def grade(
+        self,
+        submission,
+        witness=False,
+        effort=False,
+        deadline=None,
+        _prepared=None,
+    ):
         """Grade one submission; returns a :class:`GradeResult`.
 
         Parse/resolution errors propagate as :class:`repro.errors.ReproError`.
         ``_prepared`` lets the batch grader pass the ``prepare()`` output it
         already computed for deduplication, skipping the second parse.
+
+        ``deadline`` (a :class:`repro.service.deadline.Deadline`) bounds the
+        pipeline run: on expiry the result is a *degraded* partial grade
+        (``degraded=True``, coarse stage-level hint for the unfinished
+        stage).  Degraded reports are not cached and witness generation is
+        skipped for them.  A deadline that is already expired before the
+        pipeline starts raises
+        :class:`~repro.service.deadline.DeadlineExceeded` instead.
 
         With ``witness=True`` a wrong submission's result also carries an
         executor-verified counterexample instance (when one is found).
@@ -365,10 +389,14 @@ class AssignmentSession:
             report = self.cache.get(canonical)
             cached = report is not None
             if not cached:
-                report = self.grade_canonical(canonical)
-                self.cache.put(canonical, report)
+                report = self.grade_canonical(canonical, deadline=deadline)
+                if not report.degraded:
+                    # A degraded report is an artifact of *this* request's
+                    # budget; caching it would serve the partial answer to
+                    # well-budgeted duplicates forever.
+                    self.cache.put(canonical, report)
             witness_obj = None
-            if witness and not report.all_passed:
+            if witness and not report.all_passed and not report.degraded:
                 witness_obj = self.witness_canonical(canonical)
             effort_spent = (
                 effort_delta(effort_before, effort_snapshot(self.solver))
@@ -410,6 +438,7 @@ class AssignmentSession:
             elapsed=elapsed,
             witness=witness_obj,
             effort=effort_spent,
+            degraded=report.degraded,
         )
 
     def witness_canonical(self, canonical):
@@ -432,7 +461,7 @@ class AssignmentSession:
             self.cache.put(key, entry if entry is not None else _NO_WITNESS)
         return None if entry == _NO_WITNESS else entry
 
-    def grade_canonical(self, canonical):
+    def grade_canonical(self, canonical, deadline=None):
         """Run the full pipeline on an already-canonical query (no cache)."""
         report = QrHint(
             self.catalog,
@@ -441,6 +470,7 @@ class AssignmentSession:
             max_sites=self.max_sites,
             optimized=self.optimized,
             solver=self.solver,
+            deadline=deadline,
         ).run()
         self.pipeline_runs += 1
         self.pipeline_elapsed_total += report.elapsed

@@ -32,6 +32,7 @@ from repro.logic.formulas import (
 )
 from repro.logic.terms import Term
 from repro.obs import TRACER
+from repro.service.faults import FAULTS
 from repro.solver.atoms import CanonicalLiteral, canonicalize
 from repro.solver.sat import SatSolver
 from repro.solver.theory import check_literals, find_model as theory_find_model
@@ -105,6 +106,10 @@ class Solver:
 
     def __init__(self, max_conflicts=50_000):
         self.max_conflicts = max_conflicts
+        #: Optional cooperative :class:`repro.service.deadline.Deadline`.
+        #: Set by the request layer before a grade, cleared after; polled
+        #: once per DPLL(T) round by :meth:`_checkpoint`.
+        self.deadline = None
         self._sat_cache = {}
         self._theory_cache = {}
         self._core_cache = {}  # frozenset(literals) -> shrunk core tuple
@@ -157,6 +162,21 @@ class Solver:
             self.stats[key] = 0
         self._theory_cache.clear()
         self._core_cache.clear()
+
+    def _checkpoint(self):
+        """Cooperative poll run once per DPLL(T) round.
+
+        Raises :class:`~repro.service.deadline.DeadlineExceeded` when the
+        attached deadline (if any) has expired, and services the
+        ``solver.slow`` fault point when fault injection is active.  Both
+        guards are plain attribute checks, so the no-deadline no-fault
+        production path pays two loads per round.
+        """
+        deadline = self.deadline
+        if deadline is not None:
+            deadline.check("solver")
+        if FAULTS.enabled:
+            FAULTS.sleep("solver.slow")
 
     # ------------------------------------------------------------------
     # Public primitives
@@ -238,6 +258,7 @@ class Solver:
         attempts = 0
         try:
             for _ in range(self.max_conflicts):
+                self._checkpoint()
                 model = sat.solve()
                 if model is None:
                     return None
@@ -312,6 +333,7 @@ class Solver:
             # and the saved phases (so successive models differ minimally
             # and most theory checks hit the literal cache).
             for _ in range(self.max_conflicts):
+                self._checkpoint()
                 model = sat.solve()
                 if model is None:
                     return UNSAT
@@ -548,6 +570,7 @@ class FeasibilitySession:
         solver.stats["sat_calls"] += 1
         try:
             for _ in range(solver.max_conflicts):
+                solver._checkpoint()
                 model = sat.solve(assumptions)
                 if model is None:
                     # Read the failed-assumption core off the final

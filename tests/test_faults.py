@@ -1,0 +1,561 @@
+"""Chaos tests: deterministic fault injection against the serving stack.
+
+Every test here activates one or more named fault points from
+``repro.service.faults`` and asserts the *recovery* behaviour the
+robustness work promises: deadlines degrade instead of hanging, overload
+sheds with 503 instead of queueing forever, dead/hung workers cost only
+their own form, stalled clients get reclaimed, and a draining server
+finishes in-flight work while refusing new work.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import (
+    AssignmentSession,
+    GradeError,
+    grade_batch,
+    make_server,
+)
+from repro.service.deadline import Deadline, DeadlineExceeded
+from repro.service.faults import (
+    FAULTS,
+    FaultRegistry,
+    stalled_client_socket,
+)
+from repro.service.server import AdmissionController, CacheSpiller
+
+TARGET = "SELECT beer FROM Serves WHERE price > 2"
+WRONG = "SELECT beer FROM Serves WHERE price >= 2"
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Every test leaves the process-wide registry empty."""
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+def _post(base, path, payload, timeout=30):
+    request = urllib.request.Request(
+        base + path,
+        json.dumps(payload).encode(),
+        {"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _start_server(**kwargs):
+    server = make_server(port=0, **kwargs)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"http://{host}:{port}"
+
+
+def _create_assignment(base, **extra):
+    schema = {
+        "Serves": [["bar", "STRING"], ["beer", "STRING"], ["price", "FLOAT"]]
+    }
+    status, body, _ = _post(
+        base, "/assignments", {"schema": schema, "target_sql": TARGET, **extra}
+    )
+    assert status == 201
+    return body["assignment_id"]
+
+
+class TestFaultRegistry:
+    def test_env_spec_parses_points_and_params(self):
+        registry = FaultRegistry()
+        registry.clear()
+        registry.load_env("batch.worker:mode=exit,n=2; solver.slow:ms=50")
+        worker = registry.active("batch.worker")
+        assert worker is not None
+        assert worker.params == {"mode": "exit", "n": "2"}
+        slow = registry.active("solver.slow")
+        assert slow is not None and slow.float_param("ms") == 50.0
+
+    def test_nth_hit_fires_exactly_once(self):
+        registry = FaultRegistry()
+        registry.clear()
+        registry.activate("p", n=3)
+        point = registry.active("p")
+        assert [point.should_fire() for _ in range(5)] == [
+            False, False, True, False, False,
+        ]
+
+    def test_match_fires_only_on_payload_substring(self):
+        registry = FaultRegistry()
+        registry.clear()
+        registry.activate("p", match="price > 7")
+        point = registry.active("p")
+        assert not point.should_fire("SELECT beer FROM Serves")
+        assert point.should_fire("SELECT beer FROM Serves WHERE price > 7")
+        assert not point.should_fire(None)
+
+    def test_deactivate_and_clear_disable_the_registry(self):
+        registry = FaultRegistry()
+        registry.clear()
+        registry.activate("a")
+        registry.activate("b")
+        registry.deactivate("a")
+        assert registry.enabled and registry.active("a") is None
+        registry.clear()
+        assert not registry.enabled and registry.active("b") is None
+
+    def test_hooks_are_noops_when_inactive(self):
+        registry = FaultRegistry()
+        registry.clear()
+        registry.sleep("nope")
+        registry.raise_io("nope")
+        registry.on_task("nope", payload="x")  # must not exit the process
+
+    def test_raise_io_raises_oserror(self):
+        registry = FaultRegistry()
+        registry.clear()
+        registry.activate("spill.io")
+        with pytest.raises(OSError, match="injected fault"):
+            registry.raise_io("spill.io")
+
+
+class TestDeadline:
+    def test_fresh_budget_is_not_expired(self):
+        deadline = Deadline.after_ms(60_000)
+        assert not deadline.expired()
+        assert 0 < deadline.remaining_ms() <= 60_000
+        deadline.check("anywhere")  # must not raise
+
+    def test_expired_budget_raises_with_location(self):
+        deadline = Deadline.after_ms(0.0)
+        time.sleep(0.001)
+        assert deadline.expired() and deadline.remaining_ms() == 0
+        with pytest.raises(DeadlineExceeded, match="solver"):
+            deadline.check("solver")
+
+
+class TestDeadlineDegradation:
+    def test_tiny_budget_degrades_instead_of_hanging(self, beers_catalog):
+        # Each DPLL(T) round sleeps 30ms, so a 10ms budget must expire
+        # inside the pipeline -- the grade returns a partial report with
+        # a coarse stage hint instead of blocking for the full run.
+        FAULTS.activate("solver.slow", ms=30)
+        session = AssignmentSession(beers_catalog, TARGET)
+        result = session.grade(WRONG, deadline=Deadline.after_ms(10))
+        assert result.degraded
+        body = result.to_dict()
+        assert body["degraded"] is True
+        degraded = [
+            (stage["stage"], hint)
+            for stage in body["stages"]
+            for hint in stage["hints"]
+            if hint["kind"] == "degraded"
+        ]
+        assert len(degraded) == 1
+        stage, hint = degraded[0]
+        assert "time budget" in hint["message"]
+        assert stage in ("FROM", "WHERE", "GROUP BY", "HAVING", "SELECT")
+
+    def test_degraded_results_are_never_cached(self, beers_catalog):
+        FAULTS.activate("solver.slow", ms=30)
+        session = AssignmentSession(beers_catalog, TARGET)
+        first = session.grade(WRONG, deadline=Deadline.after_ms(10))
+        assert first.degraded and not first.cached
+        # Same form with a sane budget: a full (exact) grade, not the
+        # degraded partial replayed from the cache.
+        FAULTS.clear()
+        second = session.grade(WRONG)
+        assert not second.degraded and not second.cached
+        assert not second.all_passed
+        third = session.grade(WRONG)
+        assert third.cached and not third.degraded
+
+    def test_no_fault_no_deadline_is_byte_identical(self, beers_catalog):
+        # The degradation plumbing must be invisible on the common path.
+        plain = AssignmentSession(beers_catalog, TARGET).grade(WRONG)
+        wired = AssignmentSession(beers_catalog, TARGET).grade(
+            WRONG, deadline=None
+        )
+        first, second = plain.to_dict(), wired.to_dict()
+        for body in (first, second):  # wall time is inherently unstable
+            body.pop("elapsed", None)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        assert "degraded" not in first
+
+
+class TestHttpDeadline:
+    def test_timeout_ms_degrades_with_200(self):
+        FAULTS.activate("solver.slow", ms=30)
+        server, base = _start_server()
+        try:
+            aid = _create_assignment(base)
+            status, body, _ = _post(
+                base,
+                "/grade",
+                {"assignment_id": aid, "sql": WRONG, "timeout_ms": 10},
+            )
+            assert status == 200
+            assert body["degraded"] is True
+            assert any(
+                hint["kind"] == "degraded"
+                for stage in body["stages"]
+                for hint in stage["hints"]
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_pre_expired_budget_is_408(self):
+        # A microscopic budget expires before the pipeline starts; the
+        # request fails fast with 408 instead of doing throwaway work.
+        server, base = _start_server()
+        try:
+            aid = _create_assignment(base)
+            status, body, _ = _post(
+                base,
+                "/grade",
+                {"assignment_id": aid, "sql": WRONG, "timeout_ms": 0.001},
+            )
+            assert status == 408
+            assert body["kind"] == "DeadlineExceeded"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_timeout_ms_validation(self):
+        server, base = _start_server()
+        try:
+            aid = _create_assignment(base)
+            for bad in (-5, 0, "soon"):
+                status, body, _ = _post(
+                    base,
+                    "/grade",
+                    {"assignment_id": aid, "sql": WRONG, "timeout_ms": bad},
+                )
+                assert status == 400, bad
+                assert "timeout_ms" in body["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_server_cap_bounds_client_budget(self):
+        # max_timeout_ms both caps explicit budgets and applies as the
+        # default -- with a 1ms cap and a slowed solver every grade
+        # degrades, even when the client asked for a huge budget.
+        FAULTS.activate("solver.slow", ms=30)
+        server, base = _start_server(max_timeout_ms=1.0)
+        try:
+            aid = _create_assignment(base)
+            status, body, _ = _post(
+                base,
+                "/grade",
+                {"assignment_id": aid, "sql": WRONG, "timeout_ms": 600_000},
+            )
+            assert status == 200 and body.get("degraded") is True
+            status, body, _ = _post(
+                base, "/grade", {"assignment_id": aid, "sql": TARGET}
+            )
+            assert status == 200 and body.get("degraded") is True
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestAdmissionControl:
+    def test_acquire_release_accounting(self):
+        admission = AdmissionController(max_inflight=2, max_queue=0)
+        assert admission.acquire() == "admitted"
+        assert admission.acquire() == "admitted"
+        assert admission.acquire() == "queue_full"
+        admission.release()
+        assert admission.acquire() == "admitted"
+        stats = admission.stats()
+        assert stats["inflight"] == 2 and stats["admitted"] == 3
+        assert stats["shed"]["queue_full"] == 1
+
+    def test_queue_timeout_sheds_after_waiting(self):
+        admission = AdmissionController(
+            max_inflight=1, max_queue=1, queue_timeout=0.05
+        )
+        assert admission.acquire() == "admitted"
+        started = time.monotonic()
+        assert admission.acquire() == "timeout"
+        assert time.monotonic() - started >= 0.05
+        assert admission.stats()["shed"]["timeout"] == 1
+
+    def test_draining_refuses_everything(self):
+        admission = AdmissionController(max_inflight=4)
+        assert admission.acquire() == "admitted"
+        admission.start_drain()
+        assert admission.acquire() == "draining"
+        assert not admission.wait_idle(0.05)  # one request still in flight
+        admission.release()
+        assert admission.wait_idle(1.0)
+
+    def test_overload_sheds_503_with_retry_after(self):
+        # One slot, no queue, and a solver slowed to ~1s per grade: the
+        # second concurrent request must be shed immediately with 503.
+        FAULTS.activate("solver.slow", ms=400)
+        server, base = _start_server(
+            admission=AdmissionController(max_inflight=1, max_queue=0)
+        )
+        try:
+            aid = _create_assignment(base)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                slow = pool.submit(
+                    _post, base, "/grade", {"assignment_id": aid, "sql": WRONG}
+                )
+                # Wait until the slow grade holds the only slot (the
+                # assignment POST was admission #1, so the slow grade is
+                # #2 -- inflight alone could still be the assignment's
+                # not-yet-released slot), then a probe must be shed
+                # immediately instead of queueing.
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    stats = server.admission.stats()
+                    if stats["admitted"] >= 2 and stats["inflight"] >= 1:
+                        break
+                    time.sleep(0.01)
+                stats = server.admission.stats()
+                assert stats["admitted"] >= 2 and stats["inflight"] == 1
+                status, body, headers = _post(
+                    base, "/grade", {"assignment_id": aid, "sql": TARGET}
+                )
+                assert status == 503
+                assert body["reason"] == "queue_full"
+                assert headers.get("Retry-After") == "1"
+                status, body, _ = slow.result(timeout=30)
+                assert status == 200  # admitted work is unaffected
+            stats = server.admission.stats()
+            assert stats["shed"]["queue_full"] >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_stats_exposes_admission_block(self):
+        server, base = _start_server(
+            admission=AdmissionController(max_inflight=3, max_queue=2)
+        )
+        try:
+            with urllib.request.urlopen(base + "/stats") as resp:
+                stats = json.loads(resp.read())
+            assert stats["admission"]["max_inflight"] == 3
+            assert stats["admission"]["max_queue"] == 2
+            assert stats["admission"]["draining"] is False
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestStalledClient:
+    def test_read_timeout_recovers_handler_thread(self):
+        # The client declares a body then never sends it; the server's
+        # read timeout must answer 408 (or close) instead of pinning the
+        # handler thread forever.
+        server, base = _start_server(read_timeout=0.3)
+        host, port = server.server_address[:2]
+        try:
+            sock = stalled_client_socket(host, port, "/grade")
+            try:
+                sock.settimeout(10)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            finally:
+                sock.close()
+            assert b"408" in data.split(b"\r\n", 1)[0]
+            # The server is still healthy for well-behaved clients.
+            with urllib.request.urlopen(base + "/healthz", timeout=5) as resp:
+                assert resp.status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_and_refuses_new(self):
+        # Start one slow grade, then drain concurrently: the in-flight
+        # request must complete with a full 200 while requests arriving
+        # during the drain are shed with 503 "draining".
+        FAULTS.activate("solver.slow", ms=200)
+        server, base = _start_server()
+        try:
+            aid = _create_assignment(base)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                slow = pool.submit(
+                    _post, base, "/grade", {"assignment_id": aid, "sql": WRONG}
+                )
+                # Wait until the slow grade is actually admitted (it
+                # is admission #2; the assignment POST was #1 and its
+                # slot release can lag the client-visible response).
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    stats = server.admission.stats()
+                    if stats["admitted"] >= 2 and stats["inflight"] >= 1:
+                        break
+                    time.sleep(0.01)
+                stats = server.admission.stats()
+                assert stats["admitted"] >= 2 and stats["inflight"] == 1
+                # Refusals begin the moment draining starts -- probe while
+                # the accept loop is still up (drain() then stops it).
+                server.admission.start_drain()
+                status, body, headers = _post(
+                    base, "/grade", {"assignment_id": aid, "sql": TARGET}
+                )
+                assert status == 503 and body["reason"] == "draining"
+                assert headers.get("Retry-After") == "5"
+                drained = server.drain(30.0)
+                status, body, _ = slow.result(timeout=30)
+                assert status == 200 and not body["all_passed"]
+                assert drained is True
+        finally:
+            server.server_close()
+
+
+class TestWorkerRecovery:
+    def _pool(self):
+        # Distinct constants -> distinct canonical forms, so the batch
+        # takes the pool path and fault matching can single out one form.
+        return [
+            f"SELECT beer FROM Serves WHERE price > {i}" for i in range(6)
+        ]
+
+    def test_crashed_worker_costs_only_its_round(self, beers_catalog):
+        # The 2nd task of one worker process hard-exits (like a segfault).
+        # The pile must still fully grade: the leftover forms re-run on
+        # fresh single-task workers, where an "n=2" trigger never fires.
+        FAULTS.activate("batch.worker", mode="exit", n=2)
+        batch = grade_batch(
+            beers_catalog, TARGET, self._pool(), processes=2
+        )
+        assert batch.errors == 0
+        assert all(not isinstance(r, GradeError) for r in batch.results)
+        assert batch.recoveries["crashes"] >= 1
+        assert batch.recoveries["retried_ok"] >= 1
+        assert batch.recoveries["gave_up"] == 0
+
+    def test_persistently_crashing_form_becomes_grade_error(
+        self, beers_catalog
+    ):
+        # A match trigger fires on every attempt, including the isolated
+        # retries -- that one form must give up with a WorkerCrashError
+        # while every other form still grades.
+        FAULTS.activate("batch.worker", mode="exit", match="> 4")
+        batch = grade_batch(
+            beers_catalog,
+            TARGET,
+            self._pool(),
+            processes=2,
+            max_retries=1,
+        )
+        assert batch.errors == 1
+        failures = [r for r in batch.results if isinstance(r, GradeError)]
+        assert len(failures) == 1
+        assert failures[0].kind == "WorkerCrashError"
+        assert "> 4" in failures[0].submission_sql
+        assert batch.recoveries["gave_up"] == 1
+        ok = [r for r in batch.results if not isinstance(r, GradeError)]
+        assert len(ok) == 5
+
+    def test_hung_worker_detected_by_task_timeout(self, beers_catalog):
+        FAULTS.activate("batch.worker", mode="hang", match="> 4", hang_s=60)
+        started = time.monotonic()
+        batch = grade_batch(
+            beers_catalog,
+            TARGET,
+            self._pool(),
+            processes=2,
+            task_timeout=1.0,
+            max_retries=1,
+        )
+        elapsed = time.monotonic() - started
+        assert elapsed < 30  # never waits out the 60s hang
+        assert batch.recoveries["hangs"] >= 1
+        failures = [r for r in batch.results if isinstance(r, GradeError)]
+        assert len(failures) == 1
+        assert failures[0].kind == "WorkerTimeoutError"
+        assert "hung" in failures[0].error
+        ok = [r for r in batch.results if not isinstance(r, GradeError)]
+        assert len(ok) == 5
+
+    def test_grade_error_detail_carries_traceback_frame(self, beers_catalog):
+        # Regression: worker-side failures used to surface only str(exc);
+        # the innermost traceback frame now rides along for debugging.
+        unrepairable = "SELECT beer FROM Serves WHERE price < 1 OR bar = 'x'"
+        batch = grade_batch(
+            beers_catalog,
+            TARGET,
+            [unrepairable],
+            processes=1,
+            max_sites=0,
+        )
+        assert batch.errors == 1
+        error = batch.results[0]
+        assert isinstance(error, GradeError)
+        assert error.kind == "RepairError"
+        assert error.detail.startswith('File "')
+        assert ", line " in error.detail
+
+
+class TestSpillerFaults:
+    def test_spill_io_error_is_counted_not_fatal(
+        self, tmp_path, beers_catalog
+    ):
+        FAULTS.activate("spill.io")
+        session = AssignmentSession(beers_catalog, TARGET)
+        path = tmp_path / "cache.json"
+        spiller = CacheSpiller(session.cache, str(path), interval=3600)
+        session.grade(WRONG)  # dirty the cache
+        # stop() without start(): the final flush hits the injected
+        # OSError, which is swallowed and counted rather than raised.
+        spiller.stop()
+        assert spiller.errors == 1
+        assert spiller.stats()["errors"] == 1
+        assert not path.exists()
+        # With the fault gone the same spiller recovers on the next try.
+        FAULTS.clear()
+        assert spiller.spill() >= 1
+
+    def test_stop_join_timeout_is_counted_and_skips_flush(
+        self, tmp_path, beers_catalog
+    ):
+        # Regression: a wedged spill thread used to hang shutdown on an
+        # unbounded join, and a "successful" stop() would then race a
+        # second writer against it.  Now the join is bounded, counted,
+        # and the final flush is skipped while the thread is live.
+        FAULTS.activate("spill.stall", s=20)
+        session = AssignmentSession(beers_catalog, TARGET)
+        path = tmp_path / "cache.json"
+        spiller = CacheSpiller(session.cache, str(path), interval=0.05)
+        spiller.start()
+        try:
+            session.grade(WRONG)  # dirty the cache so the loop spills
+            deadline = time.monotonic() + 5.0
+            point = FAULTS.active("spill.stall")
+            while point.hits == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            started = time.monotonic()
+            spiller.stop(join_timeout=0.2)
+            assert time.monotonic() - started < 5.0
+            assert spiller.join_timeouts == 1
+            assert spiller.stats()["join_timeouts"] == 1
+            # The flush was skipped: nothing was written concurrently
+            # with the wedged thread's in-flight spill.
+            assert spiller.spills == 0
+        finally:
+            spiller._stop.set()
